@@ -1,0 +1,83 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "support/statistics.hpp"
+#include "support/strutil.hpp"
+
+namespace pathsched::bench {
+
+ExperimentRunner::ExperimentRunner(pipeline::PipelineOptions base_options)
+    : options_(base_options)
+{}
+
+const workloads::Workload &
+ExperimentRunner::workload(const std::string &name)
+{
+    auto it = workloads_.find(name);
+    if (it == workloads_.end())
+        it = workloads_.emplace(name, workloads::makeByName(name)).first;
+    return it->second;
+}
+
+const pipeline::PipelineResult &
+ExperimentRunner::run(const std::string &name,
+                      pipeline::SchedConfig config)
+{
+    const auto key = std::make_pair(name, config);
+    auto it = results_.find(key);
+    if (it == results_.end()) {
+        const auto &w = workload(name);
+        it = results_
+                 .emplace(key, pipeline::runPipeline(w.program, w.train,
+                                                     w.test, config,
+                                                     options_))
+                 .first;
+    }
+    return it->second;
+}
+
+std::vector<std::string>
+allBenchmarks()
+{
+    return workloads::benchmarkNames();
+}
+
+std::vector<std::string>
+nonMicroBenchmarks()
+{
+    // Fig. 5's x-axis starts at wc: the three microbenchmarks are
+    // excluded ("they are so small that they always fit in the cache").
+    return {"wc", "com", "eqn", "esp", "gcc", "go", "ijpeg",
+            "li", "m88k", "perl", "vortex"};
+}
+
+void
+printNormalizedTable(
+    const std::string &title,
+    const std::vector<std::string> &benchmarks,
+    const std::vector<std::pair<std::string, std::vector<double>>> &series)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%s\n", std::string(title.size(), '-').c_str());
+    std::printf("%-8s", "bench");
+    for (const auto &[label, values] : series) {
+        (void)values;
+        std::printf("  %10s", label.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < benchmarks.size(); ++i) {
+        std::printf("%-8s", benchmarks[i].c_str());
+        for (const auto &[label, values] : series)
+            std::printf("  %10.3f", values[i]);
+        std::printf("\n");
+    }
+    std::printf("%-8s", "geomean");
+    for (const auto &[label, values] : series) {
+        (void)label;
+        std::printf("  %10.3f", geomean(values));
+    }
+    std::printf("\n");
+}
+
+} // namespace pathsched::bench

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared experiment runner for the per-figure bench binaries.
+ *
+ * Each bench binary regenerates one table or figure of the paper.  The
+ * runner executes (workload x config) pipelines once, caches results
+ * within the process, and provides the normalization and formatting
+ * the figures use (all figures normalize against "M4", the edge-based
+ * approach at unroll factor 4).
+ */
+
+#ifndef PATHSCHED_BENCH_COMMON_HPP
+#define PATHSCHED_BENCH_COMMON_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pathsched::bench {
+
+/** Caching (workload, config, cache-on/off) -> PipelineResult runner. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(pipeline::PipelineOptions base_options =
+                                  pipeline::PipelineOptions());
+
+    /** Run (or fetch) one configuration of one workload. */
+    const pipeline::PipelineResult &run(const std::string &workload,
+                                        pipeline::SchedConfig config);
+
+    /** The workload definition (builds lazily, then caches). */
+    const workloads::Workload &workload(const std::string &name);
+
+    const pipeline::PipelineOptions &options() const { return options_; }
+
+  private:
+    pipeline::PipelineOptions options_;
+    std::map<std::string, workloads::Workload> workloads_;
+    std::map<std::pair<std::string, pipeline::SchedConfig>,
+             pipeline::PipelineResult>
+        results_;
+};
+
+/** The benchmarks the paper's figures draw, in x-axis order. */
+std::vector<std::string> allBenchmarks();       ///< Table 1, Figs. 4/6/7
+std::vector<std::string> nonMicroBenchmarks();  ///< Fig. 5 (wc..vortex)
+
+/** Print a standard figure table: one row per benchmark, one column
+ *  per (label, normalized value) series. */
+void printNormalizedTable(
+    const std::string &title,
+    const std::vector<std::string> &benchmarks,
+    const std::vector<std::pair<std::string, std::vector<double>>> &series);
+
+} // namespace pathsched::bench
+
+#endif // PATHSCHED_BENCH_COMMON_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Branch-correlation study on the corr microbenchmark (Young & Smith's
+ * example): two branches test the same condition with a merge point
+ * between them.  Edge profiles see two independent 75% branches; the
+ * path profile proves they always agree, so path-based formation
+ * builds superblocks that rarely take early exits.
+ */
+
+#include <cstdio>
+
+#include "interp/interpreter.hpp"
+#include "pipeline/pipeline.hpp"
+#include "profile/edge_profile.hpp"
+#include "profile/path_profile.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace pathsched;
+
+int
+main()
+{
+    const workloads::Workload w = workloads::makeCorr();
+
+    // --- What the two profiles see. ---
+    profile::EdgeProfiler edges(w.program);
+    profile::PathProfiler paths(w.program, {});
+    {
+        interp::Interpreter interp(w.program);
+        interp.addListener(&edges);
+        interp.addListener(&paths);
+        interp.run(w.train);
+        paths.finalize();
+    }
+
+    // Blocks (makeCorr layout): head=1 branches on x to then=2/else=3,
+    // mid=4 re-branches on x to 5/6.
+    const ir::ProcId p = w.program.mainProc;
+    std::printf("corr: two branches on the same condition\n");
+    std::printf("========================================\n\n");
+    std::printf("edge profile (independent points):\n");
+    std::printf("  first branch taken:  %llu / %llu\n",
+                (unsigned long long)edges.edgeFreq(p, 1, 2),
+                (unsigned long long)edges.blockFreq(p, 1));
+    std::printf("  second branch taken: %llu / %llu\n",
+                (unsigned long long)edges.edgeFreq(p, 4, 5),
+                (unsigned long long)edges.blockFreq(p, 4));
+    std::printf("  -> an edge-driven selector estimates the trace\n"
+                "     head..then..mid..then2 completes ~56%% of the "
+                "time (0.75 * 0.75)\n\n");
+
+    std::printf("path profile (exact):\n");
+    std::printf("  f(then path, agreeing)    = %llu\n",
+                (unsigned long long)paths.pathFreq(p, {1, 2, 4, 5}));
+    std::printf("  f(then path, disagreeing) = %llu\n",
+                (unsigned long long)paths.pathFreq(p, {1, 2, 4, 6}));
+    std::printf("  f(else path, agreeing)    = %llu\n",
+                (unsigned long long)paths.pathFreq(p, {1, 3, 4, 6}));
+    std::printf("  f(else path, disagreeing) = %llu\n",
+                (unsigned long long)paths.pathFreq(p, {1, 3, 4, 5}));
+    std::printf("  -> the branches never disagree: the hot trace "
+                "completes 100%% of its entries\n\n");
+
+    // --- What that buys at schedule time. ---
+    pipeline::PipelineOptions opts;
+    const auto m4 = pipeline::runPipeline(w.program, w.train, w.test,
+                                          pipeline::SchedConfig::M4,
+                                          opts);
+    const auto p4 = pipeline::runPipeline(w.program, w.train, w.test,
+                                          pipeline::SchedConfig::P4,
+                                          opts);
+    std::printf("schedule quality (test input):\n");
+    std::printf("  M4  (edge profiles): %llu cycles\n",
+                (unsigned long long)m4.test.cycles);
+    std::printf("  P4  (path profiles): %llu cycles  (%.1f%% fewer)\n",
+                (unsigned long long)p4.test.cycles,
+                100.0 * (1.0 - double(p4.test.cycles) /
+                                   double(m4.test.cycles)));
+    return 0;
+}

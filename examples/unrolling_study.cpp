@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Figure 3 of the paper: classical edge-profile unrolling
+ * versus path-based enlargement on the periodic (alt) and phased (ph)
+ * loops.  Both loops produce the *same* edge profile; the path profile
+ * drives completely different — and better — enlargements.
+ */
+
+#include <cstdio>
+
+#include "pipeline/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace pathsched;
+
+namespace {
+
+void
+study(const workloads::Workload &w)
+{
+    std::printf("--- %s: %s ---\n", w.name.c_str(),
+                w.description.c_str());
+    pipeline::PipelineOptions opts;
+    uint64_t m4_cycles = 0;
+    for (const auto config :
+         {pipeline::SchedConfig::M4, pipeline::SchedConfig::P4}) {
+        const auto r = pipeline::runPipeline(w.program, w.train, w.test,
+                                             config, opts);
+        if (config == pipeline::SchedConfig::M4)
+            m4_cycles = r.test.cycles;
+        std::printf(
+            "  %-3s  cycles=%9llu (%.3f vs M4)   superblock: "
+            "%.1f blocks executed of %.1f, completes %.0f%%\n",
+            r.name.c_str(), (unsigned long long)r.test.cycles,
+            double(r.test.cycles) / double(m4_cycles),
+            r.test.sbAvgBlocksExecuted(),
+            r.test.sbAvgBlocksInSuperblock(),
+            r.test.sbEntries
+                ? 100.0 * double(r.test.sbCompletions) /
+                      double(r.test.sbEntries)
+                : 0.0);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 3 study: what does the enlarger build?\n");
+    std::printf("=============================================\n\n");
+    std::printf(
+        "alt's conditional repeats TTTF; ph's is true for the first\n"
+        "half of the run and false for the second.  Their edge\n"
+        "profiles are identical (75%% and ~50%% taken), so classical\n"
+        "unrolling must guess.  General paths see the actual\n"
+        "sequences:\n"
+        "  - on alt, path enlargement lays out T,T,T,F iterations in\n"
+        "    one superblock that completes almost every entry\n"
+        "    (Fig. 3b);\n"
+        "  - on ph, it builds one superblock per phase (Fig. 3c).\n\n");
+
+    study(workloads::makeAlt());
+    study(workloads::makePh());
+
+    std::printf("The \"blocks executed\" column is the paper's Fig. 7\n"
+                "metric: paths push it toward the superblock size,\n"
+                "which is precisely why their schedules win.\n");
+    return 0;
+}

@@ -1,0 +1,34 @@
+#include "analysis/callgraph.hpp"
+
+namespace pathsched::analysis {
+
+CallGraph::CallGraph(const ir::Program &prog)
+    : numProcs_(prog.procs.size())
+{
+    for (const auto &p : prog.procs) {
+        for (const auto &bb : p.blocks) {
+            for (const auto &ins : bb.instrs) {
+                if (ins.op == ir::Opcode::Call)
+                    weights_[{p.id, ins.callee}] += 0;
+            }
+        }
+    }
+}
+
+void
+CallGraph::addWeight(ir::ProcId caller, ir::ProcId callee, uint64_t count)
+{
+    weights_[{caller, callee}] += count;
+}
+
+std::vector<CallGraph::Edge>
+CallGraph::edges() const
+{
+    std::vector<Edge> out;
+    out.reserve(weights_.size());
+    for (const auto &[key, w] : weights_)
+        out.push_back({key.first, key.second, w});
+    return out;
+}
+
+} // namespace pathsched::analysis

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Static call graph with optional dynamic edge weights.
+ *
+ * Pettis-Hansen procedure placement consumes this graph with weights
+ * taken from a profiling run.
+ */
+
+#ifndef PATHSCHED_ANALYSIS_CALLGRAPH_HPP
+#define PATHSCHED_ANALYSIS_CALLGRAPH_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/procedure.hpp"
+
+namespace pathsched::analysis {
+
+/** Weighted, directed call multigraph collapsed to unique edges. */
+class CallGraph
+{
+  public:
+    /** Build the static graph of @p prog with zero weights. */
+    explicit CallGraph(const ir::Program &prog);
+
+    /** Add @p count dynamic calls to the @p caller -> @p callee edge. */
+    void addWeight(ir::ProcId caller, ir::ProcId callee, uint64_t count);
+
+    /** All edges, deterministically ordered by (caller, callee). */
+    struct Edge
+    {
+        ir::ProcId caller;
+        ir::ProcId callee;
+        uint64_t weight;
+    };
+    std::vector<Edge> edges() const;
+
+    size_t numProcs() const { return numProcs_; }
+
+  private:
+    size_t numProcs_;
+    std::map<std::pair<ir::ProcId, ir::ProcId>, uint64_t> weights_;
+};
+
+} // namespace pathsched::analysis
+
+#endif // PATHSCHED_ANALYSIS_CALLGRAPH_HPP

@@ -1,0 +1,98 @@
+#include "analysis/dominators.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace pathsched::analysis {
+
+using ir::BlockId;
+using ir::kNoBlock;
+
+Dominators::Dominators(const ir::Procedure &proc)
+{
+    const size_t n = proc.blocks.size();
+    idom_.assign(n, kNoBlock);
+    rpoIndex_.assign(n, uint32_t(-1));
+
+    // Iterative postorder DFS from the entry.
+    std::vector<BlockId> postorder;
+    postorder.reserve(n);
+    std::vector<uint8_t> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::pair<BlockId, size_t>> stack;
+    std::vector<std::vector<BlockId>> succs(n);
+    for (BlockId b = 0; b < n; ++b)
+        ir::successorsOf(proc.blocks[b], succs[b]);
+
+    stack.push_back({0, 0});
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[b, idx] = stack.back();
+        if (idx < succs[b].size()) {
+            BlockId s = succs[b][idx++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.push_back({s, 0});
+            }
+        } else {
+            state[b] = 2;
+            postorder.push_back(b);
+            stack.pop_back();
+        }
+    }
+
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (uint32_t i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = i;
+
+    // Cooper-Harvey-Kennedy: iterate to a fixed point over RPO.
+    std::vector<std::vector<BlockId>> preds = ir::computePreds(proc);
+
+    auto intersect = [&](BlockId a, BlockId c) {
+        while (a != c) {
+            while (rpoIndex_[a] > rpoIndex_[c])
+                a = idom_[a];
+            while (rpoIndex_[c] > rpoIndex_[a])
+                c = idom_[c];
+        }
+        return a;
+    };
+
+    idom_[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo_) {
+            if (b == 0)
+                continue;
+            BlockId new_idom = kNoBlock;
+            for (BlockId p : preds[b]) {
+                if (idom_[p] == kNoBlock)
+                    continue; // unreachable or not yet processed
+                new_idom = new_idom == kNoBlock ? p
+                                                : intersect(p, new_idom);
+            }
+            if (new_idom != kNoBlock && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Dominators::dominates(BlockId a, BlockId b) const
+{
+    if (!reachable(b))
+        return false;
+    BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (cur == 0)
+            return a == 0;
+        cur = idom_[cur];
+    }
+}
+
+} // namespace pathsched::analysis

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dominator-tree computation (Cooper-Harvey-Kennedy iterative algorithm).
+ */
+
+#ifndef PATHSCHED_ANALYSIS_DOMINATORS_HPP
+#define PATHSCHED_ANALYSIS_DOMINATORS_HPP
+
+#include <vector>
+
+#include "ir/procedure.hpp"
+
+namespace pathsched::analysis {
+
+/** Immediate-dominator table for one procedure. */
+class Dominators
+{
+  public:
+    /** Build dominators for @p proc (entry block 0). */
+    explicit Dominators(const ir::Procedure &proc);
+
+    /**
+     * Immediate dominator of @p b; the entry dominates itself.
+     * Unreachable blocks report ir::kNoBlock.
+     */
+    ir::BlockId idom(ir::BlockId b) const { return idom_[b]; }
+
+    /** True when @p a dominates @p b (reflexive). */
+    bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+    /** True when @p b is reachable from the entry. */
+    bool reachable(ir::BlockId b) const
+    {
+        return idom_[b] != ir::kNoBlock;
+    }
+
+    /** Blocks in reverse postorder (reachable blocks only). */
+    const std::vector<ir::BlockId> &rpo() const { return rpo_; }
+
+  private:
+    std::vector<ir::BlockId> idom_;
+    std::vector<ir::BlockId> rpo_;
+    std::vector<uint32_t> rpoIndex_;
+};
+
+} // namespace pathsched::analysis
+
+#endif // PATHSCHED_ANALYSIS_DOMINATORS_HPP

@@ -1,0 +1,65 @@
+#include "analysis/liveness.hpp"
+
+namespace pathsched::analysis {
+
+using ir::BlockId;
+using ir::kNoReg;
+using ir::RegId;
+
+Liveness::Liveness(const ir::Procedure &proc)
+{
+    const size_t n = proc.blocks.size();
+    const size_t nregs = proc.numRegs;
+    liveIn_.assign(n, BitVec(nregs));
+    liveOut_.assign(n, BitVec(nregs));
+
+    // use[b]: registers read before any write in b.
+    // def[b]: registers written in b.
+    //
+    // A mid-block exit branch in a superblock makes registers live at the
+    // exit target observable part-way through the block.  For block-level
+    // sets this is conservatively handled below by folding every
+    // successor's live-in into liveOut (exits are successors), and the
+    // in-block upward exposure is exact because exit branches only read.
+    std::vector<BitVec> use(n, BitVec(nregs)), def(n, BitVec(nregs));
+    std::vector<RegId> srcs;
+    for (BlockId b = 0; b < n; ++b) {
+        for (const auto &ins : proc.blocks[b].instrs) {
+            ins.sources(srcs);
+            for (RegId r : srcs) {
+                if (!def[b].test(r))
+                    use[b].set(r);
+            }
+            if (ins.dst != kNoReg)
+                def[b].set(ins.dst);
+        }
+    }
+
+    std::vector<std::vector<BlockId>> succs(n);
+    for (BlockId b = 0; b < n; ++b)
+        ir::successorsOf(proc.blocks[b], succs[b]);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = n; i-- > 0;) {
+            const BlockId b = BlockId(i);
+            BitVec out(nregs);
+            for (BlockId s : succs[b])
+                out.unionWith(liveIn_[s]);
+            BitVec in = out;
+            in.subtract(def[b]);
+            in.unionWith(use[b]);
+            if (!(out == liveOut_[b])) {
+                liveOut_[b] = out;
+                changed = true;
+            }
+            if (!(in == liveIn_[b])) {
+                liveIn_[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+} // namespace pathsched::analysis

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Back-edge and natural-loop identification.
+ *
+ * Trace selection must never grow a trace across a back edge (§2.1 of
+ * the paper), so the form pass queries this analysis for every candidate
+ * extension edge.
+ */
+
+#ifndef PATHSCHED_ANALYSIS_LOOPS_HPP
+#define PATHSCHED_ANALYSIS_LOOPS_HPP
+
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/dominators.hpp"
+#include "ir/procedure.hpp"
+
+namespace pathsched::analysis {
+
+/** A natural loop: header plus member blocks. */
+struct NaturalLoop
+{
+    ir::BlockId header;
+    std::vector<ir::BlockId> body; // includes the header
+};
+
+/** Back edges and natural loops of one procedure. */
+class LoopInfo
+{
+  public:
+    /** Analyse @p proc using its dominator tree. */
+    LoopInfo(const ir::Procedure &proc, const Dominators &doms);
+
+    /** True when the CFG edge @p from -> @p to is a back edge. */
+    bool isBackEdge(ir::BlockId from, ir::BlockId to) const;
+
+    /** True when @p b is the header of some natural loop. */
+    bool isLoopHeader(ir::BlockId b) const;
+
+    const std::vector<NaturalLoop> &loops() const { return loops_; }
+
+  private:
+    std::unordered_set<uint64_t> backEdges_;
+    std::unordered_set<ir::BlockId> headers_;
+    std::vector<NaturalLoop> loops_;
+};
+
+} // namespace pathsched::analysis
+
+#endif // PATHSCHED_ANALYSIS_LOOPS_HPP

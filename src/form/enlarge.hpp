@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Superblock enlargement: the classical trio (branch target expansion,
+ * loop peeling, loop unrolling) under edge profiles, and the unified
+ * most-likely-path-successor mechanism under path profiles (Fig. 2).
+ * Internal to ps_form.
+ */
+
+#ifndef PATHSCHED_FORM_ENLARGE_HPP
+#define PATHSCHED_FORM_ENLARGE_HPP
+
+#include "form/internal.hpp"
+
+namespace pathsched::form {
+
+/**
+ * Extend the selected traces in place according to state.config.
+ * Traces are processed in decreasing head-frequency order; extended
+ * traces are flagged in state.traceEnlarged.
+ */
+void enlargeTraces(ProcFormState &state, const FormProfile &profile,
+                   FormStats &stats);
+
+} // namespace pathsched::form
+
+#endif // PATHSCHED_FORM_ENLARGE_HPP

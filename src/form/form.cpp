@@ -1,0 +1,49 @@
+#include "form/form.hpp"
+
+#include "form/enlarge.hpp"
+#include "form/internal.hpp"
+#include "form/materialize.hpp"
+#include "form/select.hpp"
+#include "ir/verifier.hpp"
+#include "support/logging.hpp"
+
+namespace pathsched::form {
+
+FormStats
+formProgram(ir::Program &prog, const profile::EdgeProfiler *ep,
+            const profile::PathProfiler *pp, const FormConfig &config)
+{
+    FormStats stats;
+    if (config.mode == ProfileMode::Edge) {
+        ps_assert_msg(ep != nullptr, "edge formation needs an edge profile");
+    } else {
+        ps_assert_msg(pp != nullptr, "path formation needs a path profile");
+    }
+
+    for (auto &proc : prog.procs) {
+        ProcFormState state(proc, config);
+        std::unique_ptr<FormProfile> profile =
+            config.mode == ProfileMode::Edge
+                ? makeEdgeFormProfile(proc, *ep)
+                : makePathFormProfile(proc, *pp);
+
+        selectTraces(state, *profile);
+        stats.tracesSelected += state.traces.size();
+        for (const Trace &t : state.traces) {
+            if (t.size() >= 2)
+                ++stats.multiBlockTraces;
+        }
+
+        if (config.enlarge)
+            enlargeTraces(state, *profile, stats);
+
+        materializeTraces(state, stats);
+        removeUnreachable(proc, stats);
+        proc.syncSideTables();
+    }
+
+    ir::verifyOrDie(prog, ir::VerifyMode::Superblock);
+    return stats;
+}
+
+} // namespace pathsched::form

@@ -1,0 +1,146 @@
+#include "form/materialize.hpp"
+
+#include "support/logging.hpp"
+
+namespace pathsched::form {
+
+using ir::BasicBlock;
+using ir::BlockId;
+using ir::Instruction;
+using ir::kNoBlock;
+using ir::Opcode;
+
+void
+materializeTraces(ProcFormState &state, FormStats &stats)
+{
+    ir::Procedure &proc = state.proc;
+    proc.syncSideTables();
+
+    // Heads are overwritten in place, but enlarged traces may revisit
+    // them, so all code is copied from a pre-materialization snapshot.
+    const std::vector<BasicBlock> snapshot = proc.blocks;
+
+    for (size_t ti = 0; ti < state.traces.size(); ++ti) {
+        const Trace &t = state.traces[ti];
+        if (t.size() < 2)
+            continue;
+        const BlockId head = t[0];
+
+        std::vector<Instruction> merged;
+        std::vector<uint32_t> ordinals;
+        for (size_t i = 0; i < t.size(); ++i) {
+            const BasicBlock &src = snapshot[t[i]];
+            ps_assert(!src.instrs.empty());
+            for (size_t j = 0; j < src.instrs.size(); ++j) {
+                const bool last = j + 1 == src.instrs.size();
+                Instruction ins = src.instrs[j];
+                if (last && i + 1 < t.size()) {
+                    // Internal terminator: turn into a side exit (or
+                    // drop) so the trace falls through within the
+                    // merged block.
+                    const BlockId on_trace = t[i + 1];
+                    if (ins.isBranch()) {
+                        ps_assert_msg(ins.target0 == on_trace ||
+                                          ins.target1 == on_trace,
+                                      "trace successor %u is not a CFG "
+                                      "successor of block %u",
+                                      on_trace, t[i]);
+                        if (ins.target0 == on_trace &&
+                            ins.target1 == on_trace) {
+                            continue; // both ways continue the trace
+                        }
+                        if (ins.target0 == on_trace) {
+                            // Trace follows the taken edge: invert so
+                            // "taken" means "leave the superblock".
+                            ins.op = ir::invertBranch(ins.op);
+                            ins.target0 = ins.target1;
+                        }
+                        ins.target1 = kNoBlock; // side-exit form
+                    } else if (ins.op == Opcode::Jmp) {
+                        ps_assert(ins.target0 == on_trace);
+                        continue; // pure fallthrough inside the block
+                    } else {
+                        panic("block %u cannot be a trace interior "
+                              "(terminator %s)",
+                              t[i], opcodeName(ins.op));
+                    }
+                }
+                merged.push_back(std::move(ins));
+                ordinals.push_back(uint32_t(i));
+            }
+        }
+        ps_assert(!merged.empty());
+
+        ir::SuperblockInfo &sb = proc.superblocks[head];
+        sb.isSuperblock = true;
+        sb.numSrcBlocks = uint32_t(t.size());
+        sb.srcOrdinalOf = std::move(ordinals);
+        const Instruction &term = merged.back();
+        sb.isLoop = term.target0 == head ||
+                    (term.isBranch() && term.target1 == head);
+
+        proc.blocks[head].instrs = std::move(merged);
+        ++stats.superblocksFormed;
+        stats.blocksDuplicated += t.size() - 1;
+    }
+}
+
+void
+removeUnreachable(ir::Procedure &proc, FormStats &stats)
+{
+    proc.syncSideTables();
+    const size_t n = proc.blocks.size();
+    std::vector<uint8_t> reachable(n, 0);
+    std::vector<BlockId> work{0};
+    reachable[0] = 1;
+    std::vector<BlockId> succs;
+    while (!work.empty()) {
+        const BlockId b = work.back();
+        work.pop_back();
+        ir::successorsOf(proc.blocks[b], succs);
+        for (BlockId s : succs) {
+            if (!reachable[s]) {
+                reachable[s] = 1;
+                work.push_back(s);
+            }
+        }
+    }
+
+    std::vector<BlockId> remap(n, kNoBlock);
+    BlockId next = 0;
+    for (BlockId b = 0; b < n; ++b) {
+        if (reachable[b])
+            remap[b] = next++;
+    }
+    if (next == n)
+        return; // nothing to drop
+
+    stats.unreachableRemoved += n - next;
+    std::vector<BasicBlock> blocks(next);
+    std::vector<ir::BlockSchedule> schedules(next);
+    std::vector<ir::SuperblockInfo> superblocks(next);
+    for (BlockId b = 0; b < n; ++b) {
+        if (!reachable[b])
+            continue;
+        blocks[remap[b]] = std::move(proc.blocks[b]);
+        schedules[remap[b]] = std::move(proc.schedules[b]);
+        superblocks[remap[b]] = std::move(proc.superblocks[b]);
+    }
+    for (auto &bb : blocks) {
+        for (Instruction &ins : bb.instrs) {
+            if (ins.isBranch() || ins.op == Opcode::Jmp) {
+                ps_assert(remap[ins.target0] != kNoBlock);
+                ins.target0 = remap[ins.target0];
+                if (ins.target1 != kNoBlock) {
+                    ps_assert(remap[ins.target1] != kNoBlock);
+                    ins.target1 = remap[ins.target1];
+                }
+            }
+        }
+    }
+    proc.blocks = std::move(blocks);
+    proc.schedules = std::move(schedules);
+    proc.superblocks = std::move(superblocks);
+}
+
+} // namespace pathsched::form

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Trace materialization (tail duplication + merge) and unreachable
+ * block cleanup.  Internal to ps_form.
+ */
+
+#ifndef PATHSCHED_FORM_MATERIALIZE_HPP
+#define PATHSCHED_FORM_MATERIALIZE_HPP
+
+#include "form/internal.hpp"
+
+namespace pathsched::form {
+
+/**
+ * Rewrite every multi-block trace as a single merged superblock living
+ * in the trace head's block slot: the trace blocks' code is copied in
+ * order, internal terminators become side exits (taken sense inverted
+ * when the trace follows the taken edge), and unconditional jumps along
+ * the trace are elided.  Original non-head blocks are left untouched —
+ * they are the tail duplicates that serve any side entrances.
+ */
+void materializeTraces(ProcFormState &state, FormStats &stats);
+
+/**
+ * Drop blocks unreachable from the entry (typically tail blocks whose
+ * every predecessor was absorbed into superblocks), remapping ids and
+ * side tables.
+ */
+void removeUnreachable(ir::Procedure &proc, FormStats &stats);
+
+} // namespace pathsched::form
+
+#endif // PATHSCHED_FORM_MATERIALIZE_HPP

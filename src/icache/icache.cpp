@@ -1,0 +1,43 @@
+#include "icache/icache.hpp"
+
+#include "support/logging.hpp"
+
+namespace pathsched::icache {
+
+ICache::ICache() : ICache(Params()) {}
+
+ICache::ICache(const Params &params)
+    : params_(params)
+{
+    ps_assert(params_.lineBytes > 0 &&
+              (params_.lineBytes & (params_.lineBytes - 1)) == 0);
+    ps_assert(params_.sizeBytes % params_.lineBytes == 0);
+    numLines_ = params_.sizeBytes / params_.lineBytes;
+    tags_.assign(numLines_, 0);
+    valid_.assign(numLines_, 0);
+}
+
+uint32_t
+ICache::access(uint64_t addr)
+{
+    ++accesses_;
+    const uint64_t line = addr / params_.lineBytes;
+    const uint32_t idx = uint32_t(line % numLines_);
+    if (valid_[idx] && tags_[idx] == line)
+        return 0;
+    valid_[idx] = 1;
+    tags_[idx] = line;
+    ++misses_;
+    return params_.missPenaltyCycles;
+}
+
+void
+ICache::reset()
+{
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(tags_.begin(), tags_.end(), 0);
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+} // namespace pathsched::icache

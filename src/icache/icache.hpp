@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Direct-mapped instruction cache model.
+ *
+ * The paper's experimental machine uses a 32 KB direct-mapped I-cache
+ * with 32-byte lines and a 6-cycle miss penalty (§3.2, §4).  All three
+ * parameters are configurable here.
+ */
+
+#ifndef PATHSCHED_ICACHE_ICACHE_HPP
+#define PATHSCHED_ICACHE_ICACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace pathsched::icache {
+
+/** Direct-mapped cache indexed by instruction address. */
+class ICache
+{
+  public:
+    struct Params
+    {
+        uint32_t sizeBytes = 32 * 1024;
+        uint32_t lineBytes = 32;
+        uint32_t missPenaltyCycles = 6;
+    };
+
+    /** Build with the paper's default parameters. */
+    ICache();
+    explicit ICache(const Params &params);
+
+    /**
+     * Fetch the line containing @p addr.
+     * @return the stall penalty in cycles: 0 on hit, missPenalty on miss.
+     */
+    uint32_t access(uint64_t addr);
+
+    /** Forget all cached lines and zero the statistics. */
+    void reset();
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    double missRate() const
+    {
+        return accesses_ == 0 ? 0.0 : double(misses_) / double(accesses_);
+    }
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+    uint32_t numLines_;
+    std::vector<uint64_t> tags_;
+    std::vector<uint8_t> valid_;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace pathsched::icache
+
+#endif // PATHSCHED_ICACHE_ICACHE_HPP

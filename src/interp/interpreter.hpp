@@ -1,0 +1,120 @@
+/**
+ * @file
+ * IR interpreter and cycle-accurate VLIW simulator.
+ *
+ * One engine serves three roles from the paper's methodology (§3):
+ *  - the instrumented training run that feeds profilers (listeners);
+ *  - the "compiled simulation" of scheduled code: blocks carry VLIW
+ *    schedules, and an entry into a block costs `cycleOf(exit)+1`
+ *    cycles (the full block cost when it completes);
+ *  - the I-cache timing run: with a CodeLayout and an ICache attached,
+ *    every executed operation's fetch goes through the cache and misses
+ *    add the configured penalty.
+ *
+ * Blocks without a valid schedule cost one cycle per operation, which
+ * only arises in tests; the experiment pipeline schedules every block.
+ */
+
+#ifndef PATHSCHED_INTERP_INTERPRETER_HPP
+#define PATHSCHED_INTERP_INTERPRETER_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "icache/icache.hpp"
+#include "interp/listener.hpp"
+#include "ir/procedure.hpp"
+#include "layout/code_layout.hpp"
+
+namespace pathsched::interp {
+
+/** Input to one program run: main() arguments and a data-memory image. */
+struct ProgramInput
+{
+    std::vector<int64_t> mainArgs;
+    /** Initial contents of data memory word 0..size-1; rest is zero. */
+    std::vector<int64_t> memImage;
+};
+
+/** Everything observable and measurable about one run. */
+struct RunResult
+{
+    int64_t returnValue = 0;
+    /** Values produced by Emit, in order: the program's output. */
+    std::vector<int64_t> output;
+
+    uint64_t dynInstrs = 0;     ///< operations executed
+    uint64_t dynBranches = 0;   ///< conditional branches executed
+    uint64_t dynCalls = 0;      ///< calls executed
+    uint64_t cycles = 0;        ///< total cycles incl. cache stalls
+    uint64_t stallCycles = 0;   ///< cycles lost to I-cache misses
+
+    uint64_t icacheAccesses = 0;
+    uint64_t icacheMisses = 0;
+
+    /** @name Superblock statistics (Fig. 7)
+     *  @{
+     */
+    uint64_t sbEntries = 0;          ///< dynamic superblock entries
+    uint64_t sbBlocksExecuted = 0;   ///< sum of trace blocks reached
+    uint64_t sbBlocksInSb = 0;       ///< sum of superblock sizes (blocks)
+    uint64_t sbCompletions = 0;      ///< entries that ran to the end
+    /** @} */
+
+    /** Dynamic call counts per (caller, callee), for Pettis-Hansen. */
+    std::map<std::pair<ir::ProcId, ir::ProcId>, uint64_t> callCounts;
+
+    double
+    sbAvgBlocksExecuted() const
+    {
+        return sbEntries ? double(sbBlocksExecuted) / double(sbEntries)
+                         : 0.0;
+    }
+    double
+    sbAvgBlocksInSuperblock() const
+    {
+        return sbEntries ? double(sbBlocksInSb) / double(sbEntries) : 0.0;
+    }
+};
+
+/** Interpreter configuration. */
+struct InterpOptions
+{
+    /** Abort the run after this many operations (runaway guard). */
+    uint64_t maxSteps = 4'000'000'000ULL;
+    /** Code layout; required when an I-cache is attached. */
+    const layout::CodeLayout *codeLayout = nullptr;
+    /** Instruction cache; optional. */
+    icache::ICache *cache = nullptr;
+    /** Collect per-(caller,callee) dynamic call counts. */
+    bool collectCallCounts = false;
+};
+
+/** Executes IR programs.  Stateless across run() calls. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const ir::Program &prog,
+                         InterpOptions options = InterpOptions())
+        : prog_(prog), opts_(options)
+    {}
+
+    /** Register an execution observer (not owned). */
+    void addListener(TraceListener *listener)
+    {
+        listeners_.push_back(listener);
+    }
+
+    /** Execute the program on @p input and return the measurements. */
+    RunResult run(const ProgramInput &input);
+
+  private:
+    const ir::Program &prog_;
+    InterpOptions opts_;
+    std::vector<TraceListener *> listeners_;
+};
+
+} // namespace pathsched::interp
+
+#endif // PATHSCHED_INTERP_INTERPRETER_HPP

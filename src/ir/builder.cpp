@@ -1,0 +1,178 @@
+#include "ir/builder.hpp"
+
+#include "support/logging.hpp"
+
+namespace pathsched::ir {
+
+ProcId
+IrBuilder::newProc(const std::string &name, uint32_t num_params)
+{
+    Procedure p;
+    p.name = name;
+    p.id = ProcId(prog_.procs.size());
+    p.numParams = num_params;
+    p.numRegs = num_params;
+    prog_.procs.push_back(std::move(p));
+    procId_ = prog_.procs.back().id;
+    block_ = prog_.procs.back().newBlock();
+    return procId_;
+}
+
+BlockId
+IrBuilder::newBlock()
+{
+    ps_assert(procId_ != kNoProc);
+    return proc().newBlock();
+}
+
+void
+IrBuilder::setProc(ProcId p)
+{
+    ps_assert(p < prog_.procs.size());
+    procId_ = p;
+    block_ = 0;
+}
+
+RegId
+IrBuilder::param(uint32_t i) const
+{
+    ps_assert(i < prog_.proc(procId_).numParams);
+    return i;
+}
+
+void
+IrBuilder::append(Instruction ins)
+{
+    ps_assert(procId_ != kNoProc && block_ != kNoBlock);
+    proc().blocks[block_].instrs.push_back(std::move(ins));
+}
+
+RegId
+IrBuilder::ldi(int64_t v)
+{
+    RegId d = freshReg();
+    append(makeLdi(d, v));
+    return d;
+}
+
+RegId
+IrBuilder::alu(Opcode op, RegId a, RegId b)
+{
+    RegId d = freshReg();
+    append(makeAlu(op, d, a, b));
+    return d;
+}
+
+RegId
+IrBuilder::alui(Opcode op, RegId a, int64_t imm)
+{
+    RegId d = freshReg();
+    append(makeAluImm(op, d, a, imm));
+    return d;
+}
+
+RegId
+IrBuilder::mov(RegId src)
+{
+    RegId d = freshReg();
+    append(makeMov(d, src));
+    return d;
+}
+
+RegId
+IrBuilder::ld(RegId base, int64_t off)
+{
+    RegId d = freshReg();
+    append(makeLd(d, base, off));
+    return d;
+}
+
+RegId
+IrBuilder::ldSpec(RegId base, int64_t off)
+{
+    RegId d = freshReg();
+    append(makeLdSpec(d, base, off));
+    return d;
+}
+
+RegId
+IrBuilder::callValue(ProcId callee, std::vector<RegId> args)
+{
+    RegId d = freshReg();
+    append(makeCall(d, callee, std::move(args)));
+    return d;
+}
+
+void
+IrBuilder::aluTo(Opcode op, RegId dst, RegId a, RegId b)
+{
+    append(makeAlu(op, dst, a, b));
+}
+
+void
+IrBuilder::aluiTo(Opcode op, RegId dst, RegId a, int64_t imm)
+{
+    append(makeAluImm(op, dst, a, imm));
+}
+
+void
+IrBuilder::ldiTo(RegId dst, int64_t v)
+{
+    append(makeLdi(dst, v));
+}
+
+void
+IrBuilder::movTo(RegId dst, RegId src)
+{
+    append(makeMov(dst, src));
+}
+
+void
+IrBuilder::ldTo(RegId dst, RegId base, int64_t off)
+{
+    append(makeLd(dst, base, off));
+}
+
+void
+IrBuilder::st(RegId base, int64_t off, RegId value)
+{
+    append(makeSt(base, off, value));
+}
+
+void
+IrBuilder::emitValue(RegId value)
+{
+    append(makeEmit(value));
+}
+
+void
+IrBuilder::callVoid(ProcId callee, std::vector<RegId> args)
+{
+    append(makeCall(kNoReg, callee, std::move(args)));
+}
+
+void
+IrBuilder::brnz(RegId cond, BlockId taken, BlockId fallthru)
+{
+    append(makeBr(Opcode::BrNz, cond, taken, fallthru));
+}
+
+void
+IrBuilder::brz(RegId cond, BlockId taken, BlockId fallthru)
+{
+    append(makeBr(Opcode::BrZ, cond, taken, fallthru));
+}
+
+void
+IrBuilder::jmp(BlockId target)
+{
+    append(makeJmp(target));
+}
+
+void
+IrBuilder::ret(RegId value)
+{
+    append(makeRet(value));
+}
+
+} // namespace pathsched::ir

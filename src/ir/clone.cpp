@@ -1,0 +1,52 @@
+#include "ir/clone.hpp"
+
+#include "support/logging.hpp"
+
+namespace pathsched::ir {
+
+BlockId
+appendBlockCopy(Procedure &proc, BlockId src)
+{
+    ps_assert(src < proc.blocks.size());
+    // Copy first: newBlock() may reallocate the block vector.
+    BasicBlock copy = proc.blocks[src];
+    BlockId id = proc.newBlock();
+    proc.blocks[id] = std::move(copy);
+    return id;
+}
+
+void
+remapTargets(BasicBlock &bb,
+             const std::unordered_map<BlockId, BlockId> &mapping)
+{
+    for (Instruction &ins : bb.instrs) {
+        if (ins.isBranch() || ins.op == Opcode::Jmp) {
+            if (auto it = mapping.find(ins.target0); it != mapping.end())
+                ins.target0 = it->second;
+            if (ins.target1 != kNoBlock) {
+                if (auto it = mapping.find(ins.target1);
+                    it != mapping.end()) {
+                    ins.target1 = it->second;
+                }
+            }
+        }
+    }
+}
+
+std::vector<BlockId>
+duplicateRegion(Procedure &proc, const std::vector<BlockId> &region)
+{
+    std::unordered_map<BlockId, BlockId> mapping;
+    std::vector<BlockId> copies;
+    copies.reserve(region.size());
+    for (BlockId b : region) {
+        BlockId c = appendBlockCopy(proc, b);
+        copies.push_back(c);
+        mapping[b] = c;
+    }
+    for (BlockId c : copies)
+        remapTargets(proc.blocks[c], mapping);
+    return copies;
+}
+
+} // namespace pathsched::ir

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Block duplication helpers used by tail duplication and enlargement.
+ */
+
+#ifndef PATHSCHED_IR_CLONE_HPP
+#define PATHSCHED_IR_CLONE_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/procedure.hpp"
+
+namespace pathsched::ir {
+
+/**
+ * Append a copy of block @p src to @p proc and return the new block id.
+ * Branch targets are copied verbatim (still pointing at the originals);
+ * use remapTargets() to retarget edges inside a duplicated region.
+ */
+BlockId appendBlockCopy(Procedure &proc, BlockId src);
+
+/**
+ * Rewrite every control-flow target of @p bb through @p mapping.
+ * Targets absent from the mapping are left unchanged.
+ */
+void remapTargets(BasicBlock &bb,
+                  const std::unordered_map<BlockId, BlockId> &mapping);
+
+/**
+ * Duplicate the block sequence @p region (in order) into @p proc,
+ * remapping intra-region edges so the copies link to each other the way
+ * the originals did.  Returns the new ids, aligned with @p region.
+ */
+std::vector<BlockId>
+duplicateRegion(Procedure &proc, const std::vector<BlockId> &region);
+
+} // namespace pathsched::ir
+
+#endif // PATHSCHED_IR_CLONE_HPP

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable dumps of IR programs, procedures and instructions.
+ */
+
+#ifndef PATHSCHED_IR_PRINTER_HPP
+#define PATHSCHED_IR_PRINTER_HPP
+
+#include <string>
+
+#include "ir/procedure.hpp"
+
+namespace pathsched::ir {
+
+/** Render one instruction, e.g. "add r3, r1, r2" or "brnz r4, B2, B3". */
+std::string toString(const Instruction &ins);
+
+/** Render a procedure with block labels and optional schedule cycles. */
+std::string toString(const Procedure &proc);
+
+/** Render a whole program. */
+std::string toString(const Program &prog);
+
+} // namespace pathsched::ir
+
+#endif // PATHSCHED_IR_PRINTER_HPP

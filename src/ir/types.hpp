@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental identifier types for the pathsched IR.
+ */
+
+#ifndef PATHSCHED_IR_TYPES_HPP
+#define PATHSCHED_IR_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace pathsched::ir {
+
+/** Virtual register id, scoped to a procedure. */
+using RegId = uint32_t;
+/** Basic block index within a procedure; the entry block is always 0. */
+using BlockId = uint32_t;
+/** Procedure index within a program. */
+using ProcId = uint32_t;
+
+/** Sentinel for "no register". */
+inline constexpr RegId kNoReg = std::numeric_limits<RegId>::max();
+/** Sentinel for "no block" (e.g. the fallthrough of a mid-block exit). */
+inline constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+/** Sentinel for "no procedure". */
+inline constexpr ProcId kNoProc = std::numeric_limits<ProcId>::max();
+
+} // namespace pathsched::ir
+
+#endif // PATHSCHED_IR_TYPES_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Structural well-formedness checks for IR programs.
+ */
+
+#ifndef PATHSCHED_IR_VERIFIER_HPP
+#define PATHSCHED_IR_VERIFIER_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/procedure.hpp"
+
+namespace pathsched::ir {
+
+/**
+ * Verification mode.  Strict programs (pre-formation) allow branches
+ * only as block terminators with both targets set.  Superblock programs
+ * additionally allow mid-block exit branches whose fallthrough is
+ * kNoBlock.
+ */
+enum class VerifyMode { Strict, Superblock };
+
+/**
+ * Check @p prog for structural errors.
+ *
+ * @param prog the program to verify
+ * @param mode strictness level (see VerifyMode)
+ * @param errors human-readable description of each violation found
+ * @return true when no violations were found
+ */
+bool verify(const Program &prog, VerifyMode mode,
+            std::vector<std::string> &errors);
+
+/** Verify and panic with the first error on failure. */
+void verifyOrDie(const Program &prog, VerifyMode mode);
+
+} // namespace pathsched::ir
+
+#endif // PATHSCHED_IR_VERIFIER_HPP

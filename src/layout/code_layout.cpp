@@ -1,0 +1,72 @@
+#include "layout/code_layout.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace pathsched::layout {
+
+CodeLayout
+layoutProgram(const ir::Program &prog,
+              const std::vector<ir::ProcId> &proc_order,
+              BlockOrder block_order)
+{
+    CodeLayout out;
+    out.blockAddr.resize(prog.procs.size());
+
+    std::vector<ir::ProcId> order = proc_order;
+    std::vector<uint8_t> seen(prog.procs.size(), 0);
+    for (ir::ProcId p : order) {
+        ps_assert(p < prog.procs.size() && !seen[p]);
+        seen[p] = 1;
+    }
+    for (ir::ProcId p = 0; p < prog.procs.size(); ++p) {
+        if (!seen[p])
+            order.push_back(p);
+    }
+
+    uint64_t addr = 0;
+    for (ir::ProcId p : order) {
+        const auto &proc = prog.procs[p];
+        out.blockAddr[p].resize(proc.blocks.size());
+
+        // Address-assignment order within the procedure.  The entry
+        // block always leads; HotFirst then packs the superblocks
+        // contiguously so the hot footprint contends less in a
+        // direct-mapped cache.
+        std::vector<ir::BlockId> blocks;
+        blocks.reserve(proc.blocks.size());
+        for (ir::BlockId b = 0; b < proc.blocks.size(); ++b)
+            blocks.push_back(b);
+        if (block_order == BlockOrder::HotFirst) {
+            std::stable_sort(
+                blocks.begin(), blocks.end(),
+                [&](ir::BlockId a, ir::BlockId b) {
+                    auto rank = [&](ir::BlockId x) {
+                        if (x == 0)
+                            return 0; // entry first
+                        const bool sb =
+                            x < proc.superblocks.size() &&
+                            proc.superblocks[x].isSuperblock;
+                        return sb ? 1 : 2;
+                    };
+                    return rank(a) < rank(b);
+                });
+        }
+
+        for (ir::BlockId b : blocks) {
+            out.blockAddr[p][b] = addr;
+            addr += uint64_t(proc.blocks[b].instrs.size()) * out.instrBytes;
+        }
+    }
+    out.totalBytes = addr;
+    return out;
+}
+
+CodeLayout
+layoutProgram(const ir::Program &prog)
+{
+    return layoutProgram(prog, {});
+}
+
+} // namespace pathsched::layout

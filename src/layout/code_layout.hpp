@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Instruction address assignment for I-cache simulation.
+ *
+ * Every operation occupies four bytes, laid out in linear (post-
+ * compaction, cycle-major) order within its block; blocks are laid out
+ * in id order within a procedure; procedures in a caller-chosen order
+ * (identity, or Pettis-Hansen).  Code expansion from tail duplication
+ * and enlargement therefore shows up directly as a larger footprint,
+ * which is what drives the paper's I-cache results.
+ */
+
+#ifndef PATHSCHED_LAYOUT_CODE_LAYOUT_HPP
+#define PATHSCHED_LAYOUT_CODE_LAYOUT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/procedure.hpp"
+
+namespace pathsched::layout {
+
+/** Start addresses of every block of every procedure. */
+struct CodeLayout
+{
+    /** blockAddr[proc][block] = byte address of the block's first op. */
+    std::vector<std::vector<uint64_t>> blockAddr;
+    /** Bytes per operation. */
+    uint32_t instrBytes = 4;
+    /** Total code bytes (the paper's "Size (KB)" column analogue). */
+    uint64_t totalBytes = 0;
+
+    /** Address of instruction @p idx of block @p b in procedure @p p. */
+    uint64_t
+    instrAddr(ir::ProcId p, ir::BlockId b, size_t idx) const
+    {
+        return blockAddr[p][b] + uint64_t(idx) * instrBytes;
+    }
+};
+
+/** Block ordering within each procedure. */
+enum class BlockOrder
+{
+    ById,     ///< block id order (creation order)
+    HotFirst, ///< superblocks first, then plain blocks and stubs —
+              ///< the intra-procedural half of Pettis-Hansen chaining
+};
+
+/**
+ * Lay the program out with procedures in @p proc_order (a permutation of
+ * all procedure ids; missing procedures are appended in id order).
+ */
+CodeLayout layoutProgram(const ir::Program &prog,
+                         const std::vector<ir::ProcId> &proc_order,
+                         BlockOrder block_order = BlockOrder::ById);
+
+/** Lay the program out with procedures in id order. */
+CodeLayout layoutProgram(const ir::Program &prog);
+
+} // namespace pathsched::layout
+
+#endif // PATHSCHED_LAYOUT_CODE_LAYOUT_HPP

@@ -1,0 +1,78 @@
+#include "layout/pettis_hansen.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace pathsched::layout {
+
+using ir::ProcId;
+
+std::vector<ProcId>
+pettisHansenOrder(const analysis::CallGraph &cg)
+{
+    const size_t n = cg.numProcs();
+
+    // Undirected edge weights, combining both call directions.
+    std::map<std::pair<ProcId, ProcId>, uint64_t> undirected;
+    for (const auto &e : cg.edges()) {
+        if (e.caller == e.callee || e.weight == 0)
+            continue;
+        auto key = std::minmax(e.caller, e.callee);
+        undirected[{key.first, key.second}] += e.weight;
+    }
+
+    struct WeightedEdge
+    {
+        uint64_t weight;
+        ProcId a, b;
+    };
+    std::vector<WeightedEdge> edges;
+    edges.reserve(undirected.size());
+    for (const auto &[key, w] : undirected)
+        edges.push_back({w, key.first, key.second});
+    // Heaviest first; deterministic tie-break on the endpoint ids.
+    std::sort(edges.begin(), edges.end(), [](const auto &x, const auto &y) {
+        if (x.weight != y.weight)
+            return x.weight > y.weight;
+        if (x.a != y.a)
+            return x.a < y.a;
+        return x.b < y.b;
+    });
+
+    // Each procedure starts as a singleton chain.
+    std::vector<std::deque<ProcId>> chains(n);
+    std::vector<size_t> chainOf(n);
+    for (ProcId p = 0; p < n; ++p) {
+        chains[p].push_back(p);
+        chainOf[p] = p;
+    }
+
+    for (const auto &e : edges) {
+        const size_t ca = chainOf[e.a], cb = chainOf[e.b];
+        if (ca == cb)
+            continue;
+        auto &A = chains[ca];
+        auto &B = chains[cb];
+        // Orient the merge so e.a and e.b end up adjacent when they sit
+        // at chain ends; otherwise simply concatenate.
+        if (A.back() != e.a && A.front() == e.a)
+            std::reverse(A.begin(), A.end());
+        if (B.front() != e.b && B.back() == e.b)
+            std::reverse(B.begin(), B.end());
+        for (ProcId p : B) {
+            A.push_back(p);
+            chainOf[p] = ca;
+        }
+        B.clear();
+    }
+
+    std::vector<ProcId> order;
+    order.reserve(n);
+    for (const auto &chain : chains) {
+        for (ProcId p : chain)
+            order.push_back(p);
+    }
+    return order;
+}
+
+} // namespace pathsched::layout

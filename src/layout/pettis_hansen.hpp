@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Pettis-Hansen-style procedure placement.
+ *
+ * The paper's back end runs a Pettis & Hansen procedure-placement
+ * optimization (PLDI'90) before measuring I-cache behaviour (§2.3).
+ * This pass implements the classic greedy algorithm: repeatedly take the
+ * heaviest call-graph edge and merge the two procedure chains it
+ * connects, orienting the join to keep the hot pair adjacent.
+ */
+
+#ifndef PATHSCHED_LAYOUT_PETTIS_HANSEN_HPP
+#define PATHSCHED_LAYOUT_PETTIS_HANSEN_HPP
+
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "ir/types.hpp"
+
+namespace pathsched::layout {
+
+/**
+ * Compute a procedure order from dynamic call-edge weights.
+ * Unconnected procedures retain their relative id order at the end.
+ */
+std::vector<ir::ProcId> pettisHansenOrder(const analysis::CallGraph &cg);
+
+} // namespace pathsched::layout
+
+#endif // PATHSCHED_LAYOUT_PETTIS_HANSEN_HPP

@@ -1,0 +1,160 @@
+#include "pipeline/pipeline.hpp"
+
+#include "analysis/callgraph.hpp"
+#include "ir/verifier.hpp"
+#include "layout/code_layout.hpp"
+#include "layout/pettis_hansen.hpp"
+#include "profile/edge_profile.hpp"
+#include "support/logging.hpp"
+
+namespace pathsched::pipeline {
+
+const char *
+configName(SchedConfig config)
+{
+    switch (config) {
+      case SchedConfig::BB: return "BB";
+      case SchedConfig::M4: return "M4";
+      case SchedConfig::M16: return "M16";
+      case SchedConfig::P4: return "P4";
+      case SchedConfig::P4e: return "P4e";
+    }
+    return "<bad>";
+}
+
+form::FormConfig
+formConfigFor(SchedConfig config, const PipelineOptions &options)
+{
+    form::FormConfig fc;
+    fc.completionThreshold = options.completionThreshold;
+    fc.maxInstrs = options.maxInstrs;
+    fc.enlarge = options.enlarge;
+    fc.growUpward = options.growUpward;
+    switch (config) {
+      case SchedConfig::BB:
+        break; // unused
+      case SchedConfig::M4:
+        fc.mode = form::ProfileMode::Edge;
+        fc.unrollFactor = 4;
+        break;
+      case SchedConfig::M16:
+        fc.mode = form::ProfileMode::Edge;
+        fc.unrollFactor = 16;
+        break;
+      case SchedConfig::P4:
+        fc.mode = form::ProfileMode::Path;
+        fc.maxLoopHeads = 4;
+        break;
+      case SchedConfig::P4e:
+        fc.mode = form::ProfileMode::Path;
+        fc.maxLoopHeads = 4;
+        fc.nonLoopStopsAtAnyHead = true;
+        break;
+    }
+    return fc;
+}
+
+PipelineResult
+runPipeline(const ir::Program &program, const interp::ProgramInput &train,
+            const interp::ProgramInput &test, SchedConfig config,
+            const PipelineOptions &options)
+{
+    PipelineResult result;
+    result.config = config;
+    result.name = configName(config);
+    ir::verifyOrDie(program, ir::VerifyMode::Strict);
+
+    // --- 1. Training run on the original program: gather profiles and
+    //        dynamic call counts for procedure placement. ---
+    profile::EdgeProfiler edge_profile(program);
+    profile::PathProfiler path_profile(program, options.pathParams);
+    interp::RunResult train_run;
+    {
+        interp::InterpOptions iopts;
+        iopts.maxSteps = options.maxSteps;
+        iopts.collectCallCounts = true;
+        interp::Interpreter interp(program, iopts);
+        const bool need_edge = config == SchedConfig::M4 ||
+                               config == SchedConfig::M16;
+        const bool need_path = config == SchedConfig::P4 ||
+                               config == SchedConfig::P4e;
+        if (need_edge)
+            interp.addListener(&edge_profile);
+        if (need_path)
+            interp.addListener(&path_profile);
+        train_run = interp.run(train);
+        if (need_path) {
+            path_profile.finalize();
+            result.numPaths = path_profile.numPaths();
+        }
+    }
+    result.trainSteps = train_run.dynInstrs;
+
+    // --- 2. Transform a copy of the program. ---
+    ir::Program prog = program;
+    if (config != SchedConfig::BB) {
+        result.form = form::formProgram(prog, &edge_profile, &path_profile,
+                                        formConfigFor(config, options));
+    }
+
+    // --- 3. Compact: local opt + renaming + preschedule. ---
+    sched::CompactOptions copts;
+    copts.priority = options.schedPriority;
+    result.compact = sched::compactProgram(prog, options.machine, copts);
+
+    // --- 4. Register allocation and postschedule. ---
+    if (options.registerAllocate) {
+        result.alloc =
+            regalloc::allocateProgram(prog, options.machine.numRegs);
+        result.compact.sched = sched::scheduleProgram(
+            prog, options.machine, options.schedPriority);
+    }
+    ir::verifyOrDie(prog, ir::VerifyMode::Superblock);
+
+    // --- 5. Procedure placement and address assignment. ---
+    layout::CodeLayout code_layout;
+    if (options.pettisHansen) {
+        analysis::CallGraph cg(prog);
+        for (const auto &[edge, count] : train_run.callCounts)
+            cg.addWeight(edge.first, edge.second, count);
+        code_layout = layout::layoutProgram(
+            prog, layout::pettisHansenOrder(cg), options.blockOrder);
+    } else {
+        code_layout = layout::layoutProgram(prog, {}, options.blockOrder);
+    }
+    result.codeBytes = code_layout.totalBytes;
+
+    // --- 6. Measured test run of the transformed program. ---
+    icache::ICache cache(options.cacheParams);
+    {
+        interp::InterpOptions iopts;
+        iopts.maxSteps = options.maxSteps;
+        iopts.codeLayout = &code_layout;
+        if (options.useICache)
+            iopts.cache = &cache;
+        interp::Interpreter interp(prog, iopts);
+        result.test = interp.run(test);
+    }
+
+    // --- 7. Semantic check against the original program. ---
+    {
+        interp::InterpOptions iopts;
+        iopts.maxSteps = options.maxSteps;
+        interp::Interpreter interp(program, iopts);
+        const interp::RunResult ref = interp.run(test);
+        result.outputMatches =
+            ref.output == result.test.output &&
+            ref.returnValue == result.test.returnValue;
+        ps_assert_msg(result.outputMatches,
+                      "config %s changed program behaviour "
+                      "(%zu vs %zu output values, return %lld vs %lld)",
+                      result.name.c_str(), ref.output.size(),
+                      result.test.output.size(),
+                      (long long)ref.returnValue,
+                      (long long)result.test.returnValue);
+    }
+
+    return result;
+}
+
+} // namespace pathsched::pipeline

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * End-to-end experiment pipeline.
+ *
+ * Reproduces the paper's back-end flow (§2.3, §3): profile the original
+ * program on the training input, form superblocks (edge- or
+ * path-driven), optimize/rename/preschedule, allocate registers,
+ * postschedule, place procedures (Pettis-Hansen), then measure the
+ * transformed program on the test input — optionally through the
+ * 32 KB direct-mapped I-cache.  Every pipeline run checks that the
+ * transformed program's output matches the original's.
+ */
+
+#ifndef PATHSCHED_PIPELINE_PIPELINE_HPP
+#define PATHSCHED_PIPELINE_PIPELINE_HPP
+
+#include <string>
+
+#include "form/form.hpp"
+#include "icache/icache.hpp"
+#include "layout/code_layout.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/procedure.hpp"
+#include "machine/machine.hpp"
+#include "profile/path_profile.hpp"
+#include "regalloc/linear_scan.hpp"
+#include "sched/compact.hpp"
+
+namespace pathsched::pipeline {
+
+/** The paper's scheduling configurations (§4). */
+enum class SchedConfig
+{
+    BB,  ///< basic-block scheduling (Table 1 baseline)
+    M4,  ///< edge profile, mutual-most-likely, unroll factor 4
+    M16, ///< edge profile, mutual-most-likely, unroll factor 16
+    P4,  ///< path profile, <= 4 superblock-loop heads (§2.2)
+    P4e, ///< P4 with non-loop superblocks capped at tail duplication
+};
+
+/** Short display name, e.g. "P4e". */
+const char *configName(SchedConfig config);
+
+/** Everything configurable about one pipeline run. */
+struct PipelineOptions
+{
+    machine::MachineModel machine = machine::MachineModel::unitLatency();
+    /** Attach the I-cache during the test run (Figs. 5/6). */
+    bool useICache = false;
+    icache::ICache::Params cacheParams;
+    /** Run linear-scan allocation plus postschedule. */
+    bool registerAllocate = true;
+    /** Order procedures with Pettis-Hansen placement. */
+    bool pettisHansen = true;
+    /** Block address order within procedures (hot-first ablation). */
+    layout::BlockOrder blockOrder = layout::BlockOrder::ById;
+    /** Path-profiler depth etc. (paper: 15 branches). */
+    profile::PathProfileParams pathParams;
+    /** Enlargement gate: required completion frequency. */
+    double completionThreshold = 0.50;
+    /** Superblock instruction-count cap. */
+    uint32_t maxInstrs = 256;
+    /** Disable the enlargement step entirely (ablation). */
+    bool enlarge = true;
+    /** Also grow traces upward from seeds (footnote 2 ablation). */
+    bool growUpward = false;
+    /** List-scheduler candidate priority (ablation). */
+    sched::SchedPriority schedPriority =
+        sched::SchedPriority::CriticalPath;
+    /** Interpreter step ceiling. */
+    uint64_t maxSteps = 4'000'000'000ULL;
+};
+
+/** Measurements from one (program, config) pipeline run. */
+struct PipelineResult
+{
+    SchedConfig config = SchedConfig::BB;
+    std::string name;
+
+    interp::RunResult test;   ///< the measured (transformed) test run
+    form::FormStats form;
+    sched::CompactStats compact;
+    regalloc::AllocStats alloc;
+
+    uint64_t codeBytes = 0;   ///< laid-out binary size
+    size_t numPaths = 0;      ///< distinct paths in the train profile
+    uint64_t trainSteps = 0;  ///< dynamic ops in the training run
+    bool outputMatches = false; ///< transformed output == original output
+};
+
+/** Derive the FormConfig a SchedConfig stands for. */
+form::FormConfig formConfigFor(SchedConfig config,
+                               const PipelineOptions &options);
+
+/**
+ * Run the full pipeline: profile @p program on @p train, transform per
+ * @p config, measure on @p test.  @p program itself is not modified.
+ * Panics if the transformed program's output differs from the
+ * original's on the test input.
+ */
+PipelineResult runPipeline(const ir::Program &program,
+                           const interp::ProgramInput &train,
+                           const interp::ProgramInput &test,
+                           SchedConfig config,
+                           const PipelineOptions &options);
+
+} // namespace pathsched::pipeline
+
+#endif // PATHSCHED_PIPELINE_PIPELINE_HPP

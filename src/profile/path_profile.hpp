@@ -1,0 +1,147 @@
+/**
+ * @file
+ * General path profiler (Young, 1998; §2.2 and §3.1 of the paper).
+ *
+ * A *general path* is any contiguous block sequence containing at most
+ * `maxBranches` conditional branches; profiling observes a sliding
+ * window of the dynamic block trace, per procedure activation.
+ *
+ * Implementation: each distinct window is a node of a lazily built
+ * *reversed trie* (root-to-node labels spell the window newest block
+ * first).  Stepping to block x maps the current node W to the node for
+ * "x followed by as much of W as the branch budget allows"; the result
+ * is memoised per (node, x), so after its first O(depth) construction
+ * every transition costs O(1) — the paper's O(npaths + nedges) bound.
+ * Each step increments the current (deepest) node's counter; finalize()
+ * folds counters into subtree sums, after which the frequency of any
+ * block sequence t is the subtree sum at the node reached by walking
+ * reversed(t).  When t exceeds the profiling depth, the walk stops at
+ * the budget and thereby returns the frequency of t's *longest suffix
+ * with exact frequencies* — precisely the fallback rule of §2.2.
+ *
+ * A forward-path mode (Ball-Larus-style) is provided for comparison: the
+ * window additionally resets when a back edge is traversed.
+ */
+
+#ifndef PATHSCHED_PROFILE_PATH_PROFILE_HPP
+#define PATHSCHED_PROFILE_PATH_PROFILE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "interp/listener.hpp"
+#include "ir/procedure.hpp"
+
+namespace pathsched::profile {
+
+/** Path-profiler configuration. */
+struct PathProfileParams
+{
+    /** Maximum conditional branches inside one path (paper: 15). */
+    uint32_t maxBranches = 15;
+    /** Hard cap on blocks per path (guards jump-only chains). */
+    uint32_t maxBlocks = 64;
+    /** Chop windows at back edges (forward paths) instead of sliding. */
+    bool forwardPathsOnly = false;
+};
+
+/** Collects general (or forward) path profiles for a whole program. */
+class PathProfiler : public interp::TraceListener
+{
+  public:
+    PathProfiler(const ir::Program &prog,
+                 PathProfileParams params = PathProfileParams());
+
+    void onProcEnter(ir::ProcId proc) override;
+    void onProcExit(ir::ProcId proc) override;
+    void onEdge(ir::ProcId proc, ir::BlockId from, ir::BlockId to) override;
+
+    /** Compute subtree sums.  Must be called once, after the train run. */
+    void finalize();
+
+    /**
+     * Frequency with which the block sequence @p seq (oldest block
+     * first) was executed contiguously in @p proc.  Exact when @p seq
+     * fits the profiling depth; otherwise the frequency of the longest
+     * suffix that does.  Requires finalize().
+     */
+    uint64_t pathFreq(ir::ProcId proc,
+                      const std::vector<ir::BlockId> &seq) const;
+
+    /** Frequency of a single block (sum of all paths ending there). */
+    uint64_t blockFreq(ir::ProcId proc, ir::BlockId b) const;
+
+    /** Total distinct paths (trie nodes) recorded program-wide. */
+    size_t numPaths() const;
+
+    /** Total dynamic steps (edges + entries) processed. */
+    uint64_t numSteps() const { return steps_; }
+
+    const PathProfileParams &params() const { return params_; }
+
+    /** @name Bulk access (profile persistence and merging)
+     *  @{
+     */
+    /** Visit every recorded window with a nonzero raw count, as an
+     *  oldest-block-first sequence. */
+    void forEachPath(
+        const std::function<void(ir::ProcId,
+                                 const std::vector<ir::BlockId> &,
+                                 uint64_t)> &cb) const;
+    /**
+     * Add @p count occurrences of window @p seq (oldest first).  Must
+     * be called before finalize(); fails (returns false) when the
+     * sequence exceeds the profiling budget — such a window could
+     * never have been recorded.
+     */
+    bool addPathCount(ir::ProcId proc,
+                      const std::vector<ir::BlockId> &seq,
+                      uint64_t count);
+    /** @} */
+
+  private:
+    struct Node
+    {
+        ir::BlockId label = ir::kNoBlock;
+        uint32_t parent = 0;
+        /** Conditional branches consumed by this window. */
+        uint32_t branches = 0;
+        /** Blocks in this window. */
+        uint32_t length = 0;
+        uint64_t count = 0;
+        uint64_t subtree = 0;
+        /** Child per extension-backward-in-time label. */
+        std::vector<std::pair<ir::BlockId, uint32_t>> children;
+        /** Memoised successor window per next-executed block. */
+        std::vector<std::pair<ir::BlockId, uint32_t>> succ;
+    };
+
+    /** Per-procedure trie; node 0 is the root (empty window). */
+    struct Trie
+    {
+        std::vector<Node> nodes;
+    };
+
+    uint32_t childOf(ir::ProcId proc, uint32_t node, ir::BlockId label);
+    uint32_t findChild(const Trie &t, uint32_t node,
+                       ir::BlockId label) const;
+    uint32_t transition(ir::ProcId proc, uint32_t node, ir::BlockId to);
+    void step(ir::ProcId proc, ir::BlockId to);
+
+    PathProfileParams params_;
+    std::vector<Trie> tries_;
+    /** blocks whose terminator is a conditional branch, per proc. */
+    std::vector<std::vector<uint8_t>> condBlock_;
+    /** back-edge keys ((from<<32)|to), per proc; forward mode only. */
+    std::vector<std::unordered_set<uint64_t>> backEdges_;
+    /** Stack of (proc, current node) per live activation. */
+    std::vector<std::pair<ir::ProcId, uint32_t>> windowStack_;
+    uint64_t steps_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace pathsched::profile
+
+#endif // PATHSCHED_PROFILE_PATH_PROFILE_HPP

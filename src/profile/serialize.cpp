@@ -1,0 +1,136 @@
+#include "profile/serialize.hpp"
+
+#include <sstream>
+
+#include "support/strutil.hpp"
+
+namespace pathsched::profile {
+
+using ir::BlockId;
+using ir::ProcId;
+
+std::string
+toText(const EdgeProfiler &ep)
+{
+    std::ostringstream out;
+    out << "edgeprofile v1\n";
+    ep.forEachBlock([&](ProcId p, BlockId b, uint64_t n) {
+        out << "block " << p << ' ' << b << ' ' << n << '\n';
+    });
+    ep.forEachEdge([&](ProcId p, BlockId from, BlockId to, uint64_t n) {
+        out << "edge " << p << ' ' << from << ' ' << to << ' ' << n
+            << '\n';
+    });
+    return out.str();
+}
+
+bool
+fromText(const std::string &text, EdgeProfiler &ep, std::string &error)
+{
+    std::istringstream in(text);
+    std::string header;
+    std::getline(in, header);
+    if (header != "edgeprofile v1") {
+        error = "bad header: '" + header + "'";
+        return false;
+    }
+    std::string kind;
+    size_t line = 1;
+    while (in >> kind) {
+        ++line;
+        if (kind == "block") {
+            ProcId p;
+            BlockId b;
+            uint64_t n;
+            if (!(in >> p >> b >> n)) {
+                error = strfmt("malformed block record at line %zu", line);
+                return false;
+            }
+            ep.addBlockCount(p, b, n);
+        } else if (kind == "edge") {
+            ProcId p;
+            BlockId from, to;
+            uint64_t n;
+            if (!(in >> p >> from >> to >> n)) {
+                error = strfmt("malformed edge record at line %zu", line);
+                return false;
+            }
+            ep.addEdgeCount(p, from, to, n);
+        } else {
+            error = "unknown record kind: '" + kind + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+toText(const PathProfiler &pp)
+{
+    std::ostringstream out;
+    out << "pathprofile v1 " << pp.params().maxBranches << ' '
+        << pp.params().maxBlocks << ' '
+        << (pp.params().forwardPathsOnly ? 1 : 0) << '\n';
+    pp.forEachPath([&](ProcId p, const std::vector<BlockId> &seq,
+                       uint64_t n) {
+        out << "path " << p << ' ' << n << ' ' << seq.size();
+        for (BlockId b : seq)
+            out << ' ' << b;
+        out << '\n';
+    });
+    return out.str();
+}
+
+bool
+fromText(const std::string &text, PathProfiler &pp, std::string &error)
+{
+    std::istringstream in(text);
+    std::string magic, v;
+    uint32_t max_branches, max_blocks;
+    int forward;
+    if (!(in >> magic >> v >> max_branches >> max_blocks >> forward) ||
+        magic != "pathprofile" || v != "v1") {
+        error = "bad path profile header";
+        return false;
+    }
+    if (max_branches != pp.params().maxBranches ||
+        max_blocks != pp.params().maxBlocks ||
+        (forward != 0) != pp.params().forwardPathsOnly) {
+        error = "path profile parameters do not match the profiler";
+        return false;
+    }
+
+    std::string kind;
+    std::vector<BlockId> seq;
+    size_t record = 0;
+    while (in >> kind) {
+        ++record;
+        if (kind != "path") {
+            error = "unknown record kind: '" + kind + "'";
+            return false;
+        }
+        ProcId p;
+        uint64_t n;
+        size_t len;
+        if (!(in >> p >> n >> len) || len == 0) {
+            error = strfmt("malformed path record %zu", record);
+            return false;
+        }
+        seq.assign(len, 0);
+        for (size_t k = 0; k < len; ++k) {
+            if (!(in >> seq[k])) {
+                error = strfmt("truncated path record %zu", record);
+                return false;
+            }
+        }
+        if (!pp.addPathCount(p, seq, n)) {
+            error = strfmt("path record %zu exceeds the profiling "
+                           "budget or names unknown blocks",
+                           record);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace pathsched::profile

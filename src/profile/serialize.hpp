@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Textual serialization of profiles.
+ *
+ * The paper's compiler collects profiles in an instrumented training
+ * run and consumes them in a separate compilation (§3.1).  This module
+ * provides the equivalent persistence: both profilers round-trip
+ * through a line-oriented text format, so a training run and the
+ * formation pass can live in different processes.
+ *
+ * Formats (one record per line):
+ *
+ *   edgeprofile v1
+ *   block <proc> <block> <count>
+ *   edge <proc> <from> <to> <count>
+ *
+ *   pathprofile v1 <maxBranches> <maxBlocks> <forward:0|1>
+ *   path <proc> <count> <len> <b1> ... <blen>     (oldest block first)
+ */
+
+#ifndef PATHSCHED_PROFILE_SERIALIZE_HPP
+#define PATHSCHED_PROFILE_SERIALIZE_HPP
+
+#include <string>
+
+#include "profile/edge_profile.hpp"
+#include "profile/path_profile.hpp"
+
+namespace pathsched::profile {
+
+/** Render @p ep as text. */
+std::string toText(const EdgeProfiler &ep);
+
+/**
+ * Parse @p text into @p ep (counts are *added* to whatever is already
+ * recorded, so profiles from several runs can be merged).
+ * @return false with @p error set on malformed input.
+ */
+bool fromText(const std::string &text, EdgeProfiler &ep,
+              std::string &error);
+
+/** Render @p pp as text (raw window counts; finalization optional). */
+std::string toText(const PathProfiler &pp);
+
+/**
+ * Parse @p text into @p pp, which must not be finalized yet and must
+ * have been constructed with the same parameters the text declares.
+ * Counts merge additively.  @return false with @p error on mismatch
+ * or malformed input.
+ */
+bool fromText(const std::string &text, PathProfiler &pp,
+              std::string &error);
+
+} // namespace pathsched::profile
+
+#endif // PATHSCHED_PROFILE_SERIALIZE_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Linear-scan register allocation onto the machine register file.
+ *
+ * The paper's back end preschedules with an infinite-register variant
+ * of the target, allocates registers, then postschedules restricted by
+ * the allocation decisions (§2.3).  This allocator maps each
+ * procedure's virtual registers onto the 128-entry file using one
+ * coarse live interval per register.  Parameters are precolored onto
+ * registers 0..k-1 (the calling convention).  A procedure whose
+ * pressure exceeds the file is left on virtual registers and counted
+ * in AllocStats::procsSkipped — with 128 registers and renaming-scale
+ * pressure this is rare, and the experiment harness reports it.
+ */
+
+#ifndef PATHSCHED_REGALLOC_LINEAR_SCAN_HPP
+#define PATHSCHED_REGALLOC_LINEAR_SCAN_HPP
+
+#include <cstdint>
+
+#include "ir/procedure.hpp"
+
+namespace pathsched::regalloc {
+
+/** Counters reported by allocateProgram. */
+struct AllocStats
+{
+    uint64_t procsAllocated = 0;
+    uint64_t procsSkipped = 0;
+    uint64_t regsSpilled = 0; ///< live ranges demoted to memory slots
+    uint32_t maxPressure = 0; ///< peak simultaneously-live registers
+};
+
+/**
+ * Allocate every procedure of @p prog onto @p num_phys_regs registers,
+ * rewriting register operands in place.
+ */
+AllocStats allocateProgram(ir::Program &prog, uint32_t num_phys_regs);
+
+} // namespace pathsched::regalloc
+
+#endif // PATHSCHED_REGALLOC_LINEAR_SCAN_HPP

@@ -1,0 +1,56 @@
+#include "sched/compact.hpp"
+
+#include <memory>
+
+#include "analysis/liveness.hpp"
+
+namespace pathsched::sched {
+
+CompactStats
+compactProgram(ir::Program &prog, const machine::MachineModel &mm,
+               const CompactOptions &options)
+{
+    CompactStats stats;
+    for (auto &proc : prog.procs) {
+        proc.syncSideTables();
+
+        // Phase 1: local optimization and renaming on the blocks that
+        // exist now.  Renaming appends stub blocks, which must not be
+        // re-processed (they are already minimal).
+        const size_t original_blocks = proc.blocks.size();
+        {
+            analysis::Liveness live(proc);
+            for (ir::BlockId b = 0; b < original_blocks; ++b) {
+                if (options.localOpt)
+                    stats.opt += optimizeBlock(proc, b, live);
+                if (options.rename)
+                    stats.rename += renameBlock(proc, b, live);
+            }
+        }
+        proc.syncSideTables();
+
+        // Phase 2: liveness over the renamed procedure (fresh registers
+        // and stubs included), then schedule everything.
+        analysis::Liveness live(proc);
+        for (ir::BlockId b = 0; b < proc.blocks.size(); ++b)
+            stats.sched += scheduleBlock(proc, b, live, mm,
+                                         options.priority);
+    }
+    return stats;
+}
+
+ScheduleStats
+scheduleProgram(ir::Program &prog, const machine::MachineModel &mm,
+                SchedPriority priority)
+{
+    ScheduleStats stats;
+    for (auto &proc : prog.procs) {
+        proc.syncSideTables();
+        analysis::Liveness live(proc);
+        for (ir::BlockId b = 0; b < proc.blocks.size(); ++b)
+            stats += scheduleBlock(proc, b, live, mm, priority);
+    }
+    return stats;
+}
+
+} // namespace pathsched::sched

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The compact pass: whole-program compaction driver.
+ *
+ * Per procedure: local optimization and renaming over every block
+ * (appending compensation stubs), then a liveness recomputation, then
+ * list scheduling of every block — superblocks and plain blocks alike,
+ * so the basic-block baseline and the superblock configurations share
+ * one compactor, as in the paper ("our experimental results use the
+ * same compact pass for both edge- and path-profile-based superblock
+ * scheduling").
+ */
+
+#ifndef PATHSCHED_SCHED_COMPACT_HPP
+#define PATHSCHED_SCHED_COMPACT_HPP
+
+#include "ir/procedure.hpp"
+#include "machine/machine.hpp"
+#include "sched/local_opt.hpp"
+#include "sched/renamer.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pathsched::sched {
+
+/** Feature toggles for ablations. */
+struct CompactOptions
+{
+    bool localOpt = true;
+    bool rename = true;
+    SchedPriority priority = SchedPriority::CriticalPath;
+};
+
+/** Aggregated counters from compactProgram. */
+struct CompactStats
+{
+    LocalOptStats opt;
+    RenameStats rename;
+    ScheduleStats sched;
+};
+
+/** Compact every block of every procedure of @p prog in place. */
+CompactStats compactProgram(ir::Program &prog,
+                            const machine::MachineModel &mm,
+                            const CompactOptions &options = CompactOptions());
+
+/**
+ * Re-run list scheduling only (no optimization or renaming) over every
+ * block.  This is the postschedule step after register allocation: the
+ * scheduler now sees the anti/output dependences the allocator's
+ * register reuse introduced.
+ */
+ScheduleStats scheduleProgram(
+    ir::Program &prog, const machine::MachineModel &mm,
+    SchedPriority priority = SchedPriority::CriticalPath);
+
+} // namespace pathsched::sched
+
+#endif // PATHSCHED_SCHED_COMPACT_HPP

@@ -1,0 +1,204 @@
+#include "sched/depgraph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.hpp"
+
+namespace pathsched::sched {
+
+using ir::Instruction;
+using ir::kNoReg;
+using ir::Opcode;
+using ir::RegId;
+
+namespace {
+
+/** Memory-op summary for simple base+offset disambiguation. */
+struct MemRef
+{
+    uint32_t idx;
+    bool isLoad;     // Ld/LdSpec
+    bool isStore;    // St
+    bool isBarrier;  // Call or Emit: never disambiguated
+    RegId base = kNoReg;
+    int64_t offset = 0;
+    /** Index of the in-block def of `base`, or UINT32_MAX (live-in). */
+    uint32_t baseVersion = UINT32_MAX;
+};
+
+/**
+ * True when the two references provably touch different words: same
+ * base register value (same in-block version) with different offsets.
+ */
+bool
+provablyDisjoint(const MemRef &a, const MemRef &b)
+{
+    if (a.isBarrier || b.isBarrier)
+        return false;
+    return a.base == b.base && a.baseVersion == b.baseVersion &&
+           a.offset != b.offset;
+}
+
+} // namespace
+
+void
+DepGraph::addEdge(uint32_t from, uint32_t to, uint32_t latency)
+{
+    ps_assert(from < to || latency == 0);
+    ps_assert(from != to);
+    succs_[from].push_back({to, latency});
+    ++numPreds_[to];
+}
+
+DepGraph::DepGraph(const std::vector<Instruction> &instrs,
+                   const std::vector<ExitInfo> &exits,
+                   const machine::MachineModel &mm)
+{
+    const uint32_t n = uint32_t(instrs.size());
+    succs_.resize(n);
+    numPreds_.assign(n, 0);
+    height_.assign(n, 0);
+
+    std::unordered_map<RegId, uint32_t> last_def;
+    std::unordered_map<RegId, std::vector<uint32_t>> readers_since_def;
+    std::vector<MemRef> mem_refs;
+    uint32_t last_control = UINT32_MAX;
+    std::vector<RegId> srcs;
+
+    size_t exit_pos = 0; // exits processed so far (all before instr i)
+
+    for (uint32_t i = 0; i < n; ++i) {
+        const Instruction &ins = instrs[i];
+        const uint32_t lat = mm.latencyOf(ins.op);
+
+        // --- register dependences ---
+        ins.sources(srcs);
+        for (RegId r : srcs) {
+            if (auto it = last_def.find(r); it != last_def.end()) {
+                addEdge(it->second, i,
+                        mm.latencyOf(instrs[it->second].op)); // RAW
+            }
+        }
+        if (ins.hasDst()) {
+            const RegId d = ins.dst;
+            if (auto it = readers_since_def.find(d);
+                it != readers_since_def.end()) {
+                for (uint32_t r : it->second) {
+                    if (r != i)
+                        addEdge(r, i, 0); // WAR: same cycle, ordered
+                }
+                it->second.clear();
+            }
+            if (auto it = last_def.find(d); it != last_def.end()) {
+                // WAW: the later def's write must land after the
+                // earlier one's.  Guard the subtraction: the second
+                // def may have the longer latency.
+                const uint32_t ulat = mm.latencyOf(instrs[it->second].op);
+                const uint32_t waw = ulat > lat ? ulat - lat + 1 : 1;
+                addEdge(it->second, i, waw);
+            }
+            last_def[d] = i;
+        }
+        for (RegId r : srcs)
+            readers_since_def[r].push_back(i);
+
+        // --- memory / output dependences ---
+        const bool mem_read = ins.isLoad();
+        const bool mem_write = ins.op == Opcode::St;
+        const bool mem_barrier =
+            ins.op == Opcode::Call || ins.op == Opcode::Emit;
+        if (mem_read || mem_write || mem_barrier) {
+            MemRef ref;
+            ref.idx = i;
+            ref.isLoad = mem_read;
+            ref.isStore = mem_write;
+            ref.isBarrier = mem_barrier;
+            if (mem_read || mem_write) {
+                ref.base = ins.src1;
+                ref.offset = ins.imm;
+                if (auto it = last_def.find(ins.src1);
+                    it != last_def.end()) {
+                    ref.baseVersion = it->second;
+                }
+            }
+            for (const MemRef &prev : mem_refs) {
+                if (prev.isLoad && ref.isLoad)
+                    continue; // loads commute
+                if (provablyDisjoint(prev, ref))
+                    continue; // limited load/store reordering
+                // Reads may share the consumer's cycle (ordered);
+                // writes and barriers force the next cycle.
+                const uint32_t mlat =
+                    (prev.isStore || prev.isBarrier) ? 1 : 0;
+                addEdge(prev.idx, i, mlat);
+            }
+            mem_refs.push_back(ref);
+        }
+
+        // --- control ordering ---
+        if (ins.isControlSlot()) {
+            if (last_control != UINT32_MAX)
+                addEdge(last_control, i, 1);
+            last_control = i;
+        }
+
+        // --- exit constraints ---
+        // (a) this instruction vs. exits *before* it.
+        for (size_t e = 0; e < exit_pos; ++e) {
+            const ExitInfo &x = exits[e];
+            const bool pinned_dst =
+                ins.hasDst() && ins.dst < x.liveAtTarget.size() &&
+                x.liveAtTarget.test(ins.dst);
+            const bool pinned_effect =
+                ins.op == Opcode::St || ins.op == Opcode::Emit;
+            if (pinned_dst || pinned_effect)
+                addEdge(x.instrIdx, i, 1); // may not move above the exit
+        }
+        // (b) if this instruction *is* an exit, constrain earlier ops.
+        if (exit_pos < exits.size() && exits[exit_pos].instrIdx == i) {
+            const ExitInfo &x = exits[exit_pos++];
+            for (uint32_t j = 0; j < i; ++j) {
+                const Instruction &prev = instrs[j];
+                if (prev.op == Opcode::St || prev.op == Opcode::Emit) {
+                    addEdge(j, i, 0); // side effects may not sink below
+                } else if (prev.hasDst() &&
+                           prev.dst < x.liveAtTarget.size() &&
+                           x.liveAtTarget.test(prev.dst)) {
+                    // Value observable off-trace: must be complete (and
+                    // issued, for the 0 case) when the exit is taken.
+                    const uint32_t plat = mm.latencyOf(prev.op);
+                    addEdge(j, i, plat > 0 ? plat - 1 : 0);
+                }
+            }
+        }
+    }
+
+    // Everything must issue no later than the terminator's cycle, and
+    // before it in issue order.
+    if (n > 0) {
+        const uint32_t term = n - 1;
+        std::vector<uint8_t> has_term_edge(n, 0);
+        for (uint32_t i = 0; i < term; ++i) {
+            for (const Edge &e : succs_[i]) {
+                if (e.to == term)
+                    has_term_edge[i] = 1;
+            }
+        }
+        for (uint32_t i = 0; i < term; ++i) {
+            if (!has_term_edge[i])
+                addEdge(i, term, 0);
+        }
+    }
+
+    // Critical-path heights: edges always point to larger indices, so a
+    // single reverse sweep suffices.
+    for (uint32_t i = n; i-- > 0;) {
+        uint32_t h = mm.latencyOf(instrs[i].op);
+        for (const Edge &e : succs_[i])
+            h = std::max(h, e.latency + height_[e.to]);
+        height_[i] = h;
+    }
+}
+
+} // namespace pathsched::sched

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Per-exit liveness view of a block.
+ *
+ * Compaction decides speculation legality per side exit: an instruction
+ * may move above an exit only if its destination is not live at the
+ * exit's target.  This helper snapshots, for every exit of a block, the
+ * registers live at its destination.
+ */
+
+#ifndef PATHSCHED_SCHED_EXIT_LIVE_HPP
+#define PATHSCHED_SCHED_EXIT_LIVE_HPP
+
+#include <vector>
+
+#include "analysis/liveness.hpp"
+#include "ir/procedure.hpp"
+#include "support/bitvec.hpp"
+
+namespace pathsched::sched {
+
+/** One exit of a block with the live-at-target register set. */
+struct ExitInfo
+{
+    /** Instruction index of the exiting branch/jump/return. */
+    uint32_t instrIdx;
+    /** True for the block's final instruction. */
+    bool isTerminator;
+    /** Registers live at the exit's destination (empty set for Ret). */
+    BitVec liveAtTarget;
+};
+
+/**
+ * Collect the exits of block @p b of @p proc.  A terminator branch
+ * contributes a single ExitInfo whose live set is the union over both
+ * targets; a Ret contributes an empty live set (its operand read is a
+ * normal data dependence).
+ */
+std::vector<ExitInfo> collectExits(const ir::Procedure &proc,
+                                   ir::BlockId b,
+                                   const analysis::Liveness &live);
+
+} // namespace pathsched::sched
+
+#endif // PATHSCHED_SCHED_EXIT_LIVE_HPP

@@ -1,0 +1,312 @@
+#include "sched/local_opt.hpp"
+
+#include <unordered_map>
+
+#include "sched/exit_live.hpp"
+#include "support/logging.hpp"
+
+namespace pathsched::sched {
+
+using ir::BlockId;
+using ir::Instruction;
+using ir::kNoReg;
+using ir::Opcode;
+using ir::RegId;
+
+namespace {
+
+bool
+isCommutative(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Forward dataflow state for one linear scan. */
+class ForwardState
+{
+  public:
+    /** Start a new value version for @p r, invalidating stale facts. */
+    void
+    define(RegId r)
+    {
+        ++version_[r];
+        copy_.erase(r);
+        constant_.erase(r);
+        chain_.erase(r);
+    }
+
+    void
+    recordCopy(RegId dst, RegId src)
+    {
+        copy_[dst] = {src, version_[src]};
+    }
+
+    void recordConst(RegId dst, int64_t v) { constant_[dst] = v; }
+
+    void
+    recordChain(RegId dst, RegId base, int64_t off)
+    {
+        // Fold transitively: if base itself is a chain, root through it.
+        if (auto it = chain_.find(base);
+            it != chain_.end() && it->second.version == version_[it->second.base]) {
+            base = it->second.base;
+            off += it->second.offset;
+        }
+        chain_[dst] = {base, off, version_[base]};
+    }
+
+    /** Resolve @p r through the copy map (one hop is enough: the map is
+     *  maintained transitively because sources are rewritten first). */
+    RegId
+    resolveCopy(RegId r) const
+    {
+        auto it = copy_.find(r);
+        if (it == copy_.end() || it->second.version != versionOf(it->second.src))
+            return r;
+        return it->second.src;
+    }
+
+    bool
+    constOf(RegId r, int64_t &out) const
+    {
+        auto it = constant_.find(r);
+        if (it == constant_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    /** Current add-chain root of @p r, if any: r == base + offset. */
+    bool
+    chainOf(RegId r, RegId &base, int64_t &off) const
+    {
+        auto it = chain_.find(r);
+        if (it == chain_.end() ||
+            it->second.version != versionOf(it->second.base)) {
+            return false;
+        }
+        base = it->second.base;
+        off = it->second.offset;
+        return true;
+    }
+
+  private:
+    uint32_t
+    versionOf(RegId r) const
+    {
+        auto it = version_.find(r);
+        return it == version_.end() ? 0 : it->second;
+    }
+
+    struct CopyFact
+    {
+        RegId src;
+        uint32_t version;
+    };
+    struct ChainFact
+    {
+        RegId base;
+        int64_t offset;
+        uint32_t version;
+    };
+    std::unordered_map<RegId, uint32_t> version_;
+    std::unordered_map<RegId, CopyFact> copy_;
+    std::unordered_map<RegId, int64_t> constant_;
+    std::unordered_map<RegId, ChainFact> chain_;
+};
+
+bool
+isAluOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::Shr: case Opcode::CmpEq: case Opcode::CmpNe:
+      case Opcode::CmpLt: case Opcode::CmpLe: case Opcode::CmpGt:
+      case Opcode::CmpGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** One forward simplification sweep.  Returns true when anything changed. */
+bool
+forwardPass(ir::BasicBlock &bb, LocalOptStats &stats)
+{
+    ForwardState state;
+    bool changed = false;
+    std::vector<RegId> srcs;
+
+    for (Instruction &ins : bb.instrs) {
+        // 1. Copy-propagate every source.
+        ins.sources(srcs);
+        for (RegId r : srcs) {
+            const RegId to = state.resolveCopy(r);
+            if (to != r) {
+                ins.renameSources(r, to);
+                ++stats.copiesPropagated;
+                changed = true;
+            }
+        }
+
+        // 2. Immediate forms and constant folding for ALU ops.
+        if (isAluOp(ins.op)) {
+            int64_t c;
+            if (!ins.useImm && state.constOf(ins.src2, c)) {
+                ins.useImm = true;
+                ins.imm = c;
+                ins.src2 = kNoReg;
+                ++stats.constantsFolded;
+                changed = true;
+            } else if (!ins.useImm && isCommutative(ins.op) &&
+                       state.constOf(ins.src1, c)) {
+                ins.src1 = ins.src2;
+                ins.useImm = true;
+                ins.imm = c;
+                ins.src2 = kNoReg;
+                ++stats.constantsFolded;
+                changed = true;
+            }
+            // Normalize subtract-immediate into add-immediate so the
+            // chain folding below sees one shape.
+            if (ins.op == Opcode::Sub && ins.useImm &&
+                ins.imm != INT64_MIN) {
+                ins.op = Opcode::Add;
+                ins.imm = -ins.imm;
+                changed = true;
+            }
+            // i + c1 where i = base + c0  ->  base + (c0 + c1)
+            if (ins.op == Opcode::Add && ins.useImm) {
+                RegId base;
+                int64_t off;
+                if (state.chainOf(ins.src1, base, off) &&
+                    base != ins.src1) {
+                    ins.src1 = base;
+                    ins.imm += off;
+                    ++stats.chainsFolded;
+                    changed = true;
+                }
+            }
+        }
+
+        // 3. Fold add chains into memory offsets.
+        if (ins.isLoad() || ins.op == Opcode::St) {
+            RegId base;
+            int64_t off;
+            if (state.chainOf(ins.src1, base, off) && base != ins.src1) {
+                ins.src1 = base;
+                ins.imm += off;
+                ++stats.chainsFolded;
+                changed = true;
+            }
+        }
+
+        // 4. Update dataflow facts from this definition.
+        if (ins.hasDst()) {
+            state.define(ins.dst);
+            if (ins.op == Opcode::Mov && ins.src1 != ins.dst) {
+                state.recordCopy(ins.dst, ins.src1);
+            } else if (ins.op == Opcode::Ldi) {
+                state.recordConst(ins.dst, ins.imm);
+            } else if (ins.op == Opcode::Add && ins.useImm &&
+                       ins.src1 != ins.dst) {
+                state.recordChain(ins.dst, ins.src1, ins.imm);
+            }
+        }
+    }
+    return changed;
+}
+
+/** Backward dead-code elimination sweep, exact at side exits. */
+bool
+deadCodePass(ir::Procedure &proc, BlockId b,
+             const analysis::Liveness &live, LocalOptStats &stats)
+{
+    ir::BasicBlock &bb = proc.blocks[b];
+    const std::vector<ExitInfo> exits = collectExits(proc, b, live);
+
+    // Sized to the liveness universe: this pass runs before renaming,
+    // so the block only mentions registers the solver knew about.
+    BitVec live_now(live.numRegs());
+    std::vector<uint8_t> keep(bb.instrs.size(), 1);
+    std::vector<RegId> srcs;
+
+    size_t exit_cursor = exits.size();
+    for (size_t i = bb.instrs.size(); i-- > 0;) {
+        const Instruction &ins = bb.instrs[i];
+        // Fold in liveness contributed by exits at or after this point.
+        while (exit_cursor > 0 && exits[exit_cursor - 1].instrIdx >= i) {
+            live_now.unionWith(exits[exit_cursor - 1].liveAtTarget);
+            --exit_cursor;
+        }
+
+        const bool side_effect = ins.op == Opcode::St ||
+                                 ins.op == Opcode::Emit ||
+                                 ins.op == Opcode::Call ||
+                                 ins.isControlFlow() ||
+                                 ins.op == Opcode::Nop;
+        if (!side_effect && ins.hasDst() && !live_now.test(ins.dst)) {
+            keep[i] = 0;
+            ++stats.deadRemoved;
+            continue;
+        }
+        if (ins.hasDst())
+            live_now.reset(ins.dst);
+        ins.sources(srcs);
+        for (RegId r : srcs)
+            live_now.set(r);
+    }
+
+    bool changed = false;
+    for (uint8_t k : keep)
+        changed |= k == 0;
+    if (!changed)
+        return false;
+
+    std::vector<Instruction> kept;
+    std::vector<uint32_t> kept_ordinals;
+    ir::SuperblockInfo &sb = proc.superblocks[b];
+    kept.reserve(bb.instrs.size());
+    for (size_t i = 0; i < bb.instrs.size(); ++i) {
+        if (keep[i]) {
+            kept.push_back(std::move(bb.instrs[i]));
+            if (sb.isSuperblock)
+                kept_ordinals.push_back(sb.srcOrdinalOf[i]);
+        }
+    }
+    bb.instrs = std::move(kept);
+    if (sb.isSuperblock)
+        sb.srcOrdinalOf = std::move(kept_ordinals);
+    return true;
+}
+
+} // namespace
+
+LocalOptStats
+optimizeBlock(ir::Procedure &proc, BlockId b,
+              const analysis::Liveness &live)
+{
+    LocalOptStats stats;
+    for (int iter = 0; iter < 4; ++iter) {
+        bool changed = forwardPass(proc.blocks[b], stats);
+        changed |= deadCodePass(proc, b, live, stats);
+        if (!changed)
+            break;
+    }
+    return stats;
+}
+
+} // namespace pathsched::sched

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-block value-numbering-lite and dead-code elimination.
+ *
+ * The paper's back end performs "value numbering and dead-code
+ * elimination" on each superblock before prescheduling (§2.3).  This
+ * pass implements the pieces that matter for compaction quality:
+ *
+ *  - copy propagation ("move renaming": a use of an unscheduled move's
+ *    destination is substituted with the move's source);
+ *  - constant propagation of Ldi values into immediate operand forms;
+ *  - add-immediate chain folding (i+1+1 -> i+2), which is what lets an
+ *    unrolled induction variable update in parallel across iterations;
+ *  - folding of add-immediate chains into load/store address offsets;
+ *  - dead-code elimination precise to superblock side exits.
+ */
+
+#ifndef PATHSCHED_SCHED_LOCAL_OPT_HPP
+#define PATHSCHED_SCHED_LOCAL_OPT_HPP
+
+#include <cstdint>
+
+#include "analysis/liveness.hpp"
+#include "ir/procedure.hpp"
+
+namespace pathsched::sched {
+
+/** Counters reported by optimizeBlock. */
+struct LocalOptStats
+{
+    uint64_t copiesPropagated = 0;
+    uint64_t constantsFolded = 0;
+    uint64_t chainsFolded = 0;
+    uint64_t deadRemoved = 0;
+
+    LocalOptStats &
+    operator+=(const LocalOptStats &o)
+    {
+        copiesPropagated += o.copiesPropagated;
+        constantsFolded += o.constantsFolded;
+        chainsFolded += o.chainsFolded;
+        deadRemoved += o.deadRemoved;
+        return *this;
+    }
+};
+
+/**
+ * Optimize block @p b of @p proc in place.  @p live must describe the
+ * procedure in its current form; the pass never changes cross-block
+ * liveness (it only removes instructions and rewrites operands), so one
+ * Liveness instance remains valid across a whole-procedure sweep.
+ */
+LocalOptStats optimizeBlock(ir::Procedure &proc, ir::BlockId b,
+                            const analysis::Liveness &live);
+
+} // namespace pathsched::sched
+
+#endif // PATHSCHED_SCHED_LOCAL_OPT_HPP

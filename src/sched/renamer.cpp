@@ -1,0 +1,89 @@
+#include "sched/renamer.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "sched/exit_live.hpp"
+#include "support/logging.hpp"
+
+namespace pathsched::sched {
+
+using ir::BlockId;
+using ir::Instruction;
+using ir::RegId;
+
+RenameStats
+renameBlock(ir::Procedure &proc, BlockId b, const analysis::Liveness &live)
+{
+    RenameStats stats;
+    const std::vector<ExitInfo> exits = collectExits(proc, b, live);
+
+    // Work on a local copy: stub creation below resizes proc.blocks.
+    std::vector<Instruction> instrs = std::move(proc.blocks[b].instrs);
+
+    std::unordered_map<RegId, size_t> last_def;
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        if (instrs[i].hasDst())
+            last_def[instrs[i].dst] = i;
+    }
+
+    // Ordered map: stub copy order must be deterministic.
+    std::map<RegId, RegId> renamed;
+    std::vector<RegId> srcs;
+    size_t exit_pos = 0;
+
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        Instruction &ins = instrs[i];
+
+        ins.sources(srcs);
+        for (RegId r : srcs) {
+            if (auto it = renamed.find(r); it != renamed.end())
+                ins.renameSources(r, it->second);
+        }
+
+        if (ins.hasDst()) {
+            const RegId r = ins.dst;
+            if (last_def[r] != i) {
+                const RegId fresh = proc.newReg();
+                renamed[r] = fresh;
+                ins.dst = fresh;
+                ++stats.defsRenamed;
+            } else {
+                renamed.erase(r);
+            }
+        }
+
+        if (exit_pos < exits.size() && exits[exit_pos].instrIdx == i) {
+            const ExitInfo &e = exits[exit_pos++];
+            // The terminator can never need compensation: every last
+            // definition keeps its architectural register, so `renamed`
+            // is empty by the end of the block.
+            if (!e.isTerminator && ins.isBranch()) {
+                std::vector<std::pair<RegId, RegId>> copies;
+                for (const auto &[orig, fresh] : renamed) {
+                    if (orig < e.liveAtTarget.size() &&
+                        e.liveAtTarget.test(orig)) {
+                        copies.emplace_back(orig, fresh);
+                    }
+                }
+                if (!copies.empty()) {
+                    const BlockId stub = proc.newBlock();
+                    auto &sbb = proc.blocks[stub];
+                    for (const auto &[orig, fresh] : copies) {
+                        sbb.instrs.push_back(ir::makeMov(orig, fresh));
+                        ++stats.copiesInserted;
+                    }
+                    sbb.instrs.push_back(ir::makeJmp(ins.target0));
+                    ins.target0 = stub;
+                    ++stats.stubsCreated;
+                }
+            }
+        }
+    }
+    ps_assert(renamed.empty());
+
+    proc.blocks[b].instrs = std::move(instrs);
+    return stats;
+}
+
+} // namespace pathsched::sched

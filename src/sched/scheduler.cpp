@@ -1,0 +1,205 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sched/depgraph.hpp"
+#include "sched/exit_live.hpp"
+#include "support/logging.hpp"
+#include "support/strutil.hpp"
+
+namespace pathsched::sched {
+
+using ir::BlockId;
+using ir::Instruction;
+using ir::Opcode;
+
+ScheduleStats
+scheduleBlock(ir::Procedure &proc, BlockId b,
+              const analysis::Liveness &live,
+              const machine::MachineModel &mm, SchedPriority priority)
+{
+    ScheduleStats stats;
+    ir::BasicBlock &bb = proc.blocks[b];
+    const uint32_t n = uint32_t(bb.instrs.size());
+    ps_assert(n > 0);
+
+    const std::vector<ExitInfo> exits = collectExits(proc, b, live);
+    const DepGraph graph(bb.instrs, exits, mm);
+
+    std::vector<uint32_t> preds_left(n), est(n, 0), cyc(n, 0);
+    std::vector<uint8_t> done(n, 0);
+    for (uint32_t i = 0; i < n; ++i)
+        preds_left[i] = graph.numPreds(i);
+
+    std::vector<uint32_t> issue_order;
+    issue_order.reserve(n);
+
+    uint32_t cycle = 0;
+    uint32_t scheduled = 0;
+    while (scheduled < n) {
+        uint32_t slots = 0;
+        uint32_t control = 0;
+        bool placed_any = true;
+        while (placed_any && slots < mm.issueWidth) {
+            placed_any = false;
+            // Default: highest critical-path height first, original
+            // order breaking ties (deterministic).  SourceOrder takes
+            // the earliest ready instruction instead (ablation).
+            uint32_t best = UINT32_MAX;
+            for (uint32_t i = 0; i < n; ++i) {
+                if (done[i] || preds_left[i] != 0 || est[i] > cycle)
+                    continue;
+                if (bb.instrs[i].isControlSlot() &&
+                    control >= mm.controlPerCycle) {
+                    continue;
+                }
+                if (best == UINT32_MAX) {
+                    best = i;
+                    if (priority == SchedPriority::SourceOrder)
+                        break;
+                } else if (priority == SchedPriority::CriticalPath &&
+                           graph.height(i) > graph.height(best)) {
+                    best = i;
+                }
+            }
+            if (best == UINT32_MAX)
+                break;
+            done[best] = 1;
+            cyc[best] = cycle;
+            issue_order.push_back(best);
+            ++scheduled;
+            ++slots;
+            if (bb.instrs[best].isControlSlot())
+                ++control;
+            for (const DepGraph::Edge &e : graph.succs(best)) {
+                --preds_left[e.to];
+                est[e.to] = std::max(est[e.to], cycle + e.latency);
+            }
+            placed_any = true;
+        }
+        if (scheduled == n)
+            break;
+        // Advance to the earliest cycle at which anything can start.
+        uint32_t next = UINT32_MAX;
+        for (uint32_t i = 0; i < n; ++i) {
+            if (!done[i] && preds_left[i] == 0)
+                next = std::min(next, est[i]);
+        }
+        ps_assert_msg(next != UINT32_MAX,
+                      "scheduler wedged: dependence cycle in block");
+        cycle = std::max(cycle + 1, next);
+    }
+
+    // Flatten into issue order and fill the schedule side table.
+    ir::SuperblockInfo &sb = proc.superblocks[b];
+    std::vector<Instruction> new_instrs;
+    std::vector<uint32_t> new_ordinals;
+    std::vector<uint32_t> cycle_of;
+    new_instrs.reserve(n);
+    cycle_of.reserve(n);
+    for (uint32_t k = 0; k < n; ++k) {
+        const uint32_t i = issue_order[k];
+        new_instrs.push_back(std::move(bb.instrs[i]));
+        cycle_of.push_back(cyc[i]);
+        if (sb.isSuperblock)
+            new_ordinals.push_back(sb.srcOrdinalOf[i]);
+    }
+
+    // Convert loads hoisted above an earlier conditional branch into
+    // non-excepting speculative loads (§2.3, §3.2).
+    std::vector<uint32_t> issue_pos(n);
+    for (uint32_t k = 0; k < n; ++k)
+        issue_pos[issue_order[k]] = k;
+    for (uint32_t i = 0; i < n; ++i) {
+        if (new_instrs[issue_pos[i]].op != Opcode::Ld)
+            continue;
+        for (uint32_t e = 0; e < i; ++e) {
+            const Instruction &maybe_br = new_instrs[issue_pos[e]];
+            if (maybe_br.isBranch() && issue_pos[i] < issue_pos[e]) {
+                new_instrs[issue_pos[i]].op = Opcode::LdSpec;
+                ++stats.loadsSpeculated;
+                break;
+            }
+        }
+    }
+
+    bb.instrs = std::move(new_instrs);
+    if (sb.isSuperblock)
+        sb.srcOrdinalOf = std::move(new_ordinals);
+    ir::BlockSchedule &sched = proc.schedules[b];
+    sched.valid = true;
+    sched.cycleOf = std::move(cycle_of);
+    sched.numCycles = sched.cycleOf.empty() ? 0 : sched.cycleOf.back() + 1;
+
+    ++stats.blocksScheduled;
+    stats.totalCycles += sched.numCycles;
+    return stats;
+}
+
+bool
+validateSchedule(const ir::Procedure &proc, BlockId b,
+                 const analysis::Liveness &live,
+                 const machine::MachineModel &mm,
+                 std::vector<std::string> &errors)
+{
+    const ir::BasicBlock &bb = proc.blocks[b];
+    const ir::BlockSchedule &sched = proc.schedules[b];
+    const size_t before = errors.size();
+
+    if (!sched.valid) {
+        errors.push_back(strfmt("block %u: no schedule", b));
+        return false;
+    }
+    if (sched.cycleOf.size() != bb.instrs.size()) {
+        errors.push_back(strfmt("block %u: schedule size mismatch", b));
+        return false;
+    }
+
+    // Cycles must be non-decreasing in linear order.
+    for (size_t i = 1; i < bb.instrs.size(); ++i) {
+        if (sched.cycleOf[i] < sched.cycleOf[i - 1]) {
+            errors.push_back(
+                strfmt("block %u: cycle order violated at %zu", b, i));
+        }
+    }
+
+    // Re-derive the dependence graph from the (current) linear order
+    // and check every edge against the recorded cycles.
+    const std::vector<ExitInfo> exits = collectExits(proc, b, live);
+    const DepGraph graph(bb.instrs, exits, mm);
+    for (uint32_t u = 0; u < bb.instrs.size(); ++u) {
+        for (const DepGraph::Edge &e : graph.succs(u)) {
+            if (e.latency > 0 &&
+                sched.cycleOf[e.to] < sched.cycleOf[u] + e.latency) {
+                errors.push_back(strfmt(
+                    "block %u: edge %u->%u latency %u violated "
+                    "(cycles %u, %u)",
+                    b, u, e.to, e.latency, sched.cycleOf[u],
+                    sched.cycleOf[e.to]));
+            }
+        }
+    }
+
+    // Resource limits per cycle.
+    const uint32_t cycles = sched.numCycles;
+    std::vector<uint32_t> slots(cycles, 0), control(cycles, 0);
+    for (size_t i = 0; i < bb.instrs.size(); ++i) {
+        ++slots[sched.cycleOf[i]];
+        if (bb.instrs[i].isControlSlot())
+            ++control[sched.cycleOf[i]];
+    }
+    for (uint32_t c = 0; c < cycles; ++c) {
+        if (slots[c] > mm.issueWidth) {
+            errors.push_back(
+                strfmt("block %u: %u ops in cycle %u", b, slots[c], c));
+        }
+        if (control[c] > mm.controlPerCycle) {
+            errors.push_back(strfmt("block %u: %u control ops in cycle %u",
+                                    b, control[c], c));
+        }
+    }
+
+    return errors.size() == before;
+}
+
+} // namespace pathsched::sched

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Diagnostic helpers in the style of gem5's logging.hh.
+ *
+ * The library does not use C++ exceptions.  panic() reports an internal
+ * invariant violation (a pathsched bug) and aborts; fatal() reports a
+ * user/configuration error and exits with status 1; warn() and inform()
+ * print to stderr and continue.
+ */
+
+#ifndef PATHSCHED_SUPPORT_LOGGING_HPP
+#define PATHSCHED_SUPPORT_LOGGING_HPP
+
+namespace pathsched {
+
+/** Print a printf-style message tagged "panic:" and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Print a printf-style message tagged "fatal:" and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Print a printf-style message tagged "warn:" to stderr. */
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a printf-style message tagged "info:" to stderr. */
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+#define panic(...) ::pathsched::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::pathsched::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::pathsched::warnImpl(__VA_ARGS__)
+#define inform(...) ::pathsched::informImpl(__VA_ARGS__)
+
+/**
+ * Internal-invariant check that stays on in release builds.
+ * Use for conditions that indicate a pathsched bug, never for user error.
+ */
+#define ps_assert(cond)                                                   \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::pathsched::panicImpl(__FILE__, __LINE__,                    \
+                                   "assertion '%s' failed", #cond);       \
+        }                                                                 \
+    } while (0)
+
+/** Invariant check with a printf-style explanatory message. */
+#define ps_assert_msg(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::pathsched::panicImpl(__FILE__, __LINE__, __VA_ARGS__);      \
+        }                                                                 \
+    } while (0)
+
+} // namespace pathsched
+
+#endif // PATHSCHED_SUPPORT_LOGGING_HPP

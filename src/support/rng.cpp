@@ -1,0 +1,80 @@
+#include "support/rng.hpp"
+
+#include "support/logging.hpp"
+
+namespace pathsched {
+
+namespace {
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** SplitMix64 step, used to expand the seed into the full state. */
+uint64_t
+splitmix(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : state_)
+        s = splitmix(x);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    ps_assert(bound >= 1);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = ~uint64_t(0) - ~uint64_t(0) % bound;
+    uint64_t v = next();
+    while (v >= limit)
+        v = next();
+    return v % bound;
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    ps_assert(lo <= hi);
+    return lo + int64_t(below(uint64_t(hi - lo) + 1));
+}
+
+double
+Rng::uniform()
+{
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace pathsched

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All randomized workload inputs and property tests use this generator so
+ * that every run of the repository is reproducible.  The implementation
+ * is xoshiro256** (public domain, Blackman & Vigna).
+ */
+
+#ifndef PATHSCHED_SUPPORT_RNG_HPP
+#define PATHSCHED_SUPPORT_RNG_HPP
+
+#include <cstdint>
+
+namespace pathsched {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed the generator; equal seeds yield equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) for bound >= 1. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p);
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace pathsched
+
+#endif // PATHSCHED_SUPPORT_RNG_HPP

@@ -1,0 +1,66 @@
+#include "support/statistics.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace pathsched {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+    ++count_;
+    sum_ += x;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / double(count_);
+}
+
+double
+RunningStat::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+RunningStat::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : xs)
+        s += x;
+    return s / double(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : xs) {
+        ps_assert(x > 0);
+        s += std::log(x);
+    }
+    return std::exp(s / double(xs.size()));
+}
+
+} // namespace pathsched

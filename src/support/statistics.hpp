@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small statistics helpers used by the experiment harness.
+ */
+
+#ifndef PATHSCHED_SUPPORT_STATISTICS_HPP
+#define PATHSCHED_SUPPORT_STATISTICS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace pathsched {
+
+/** Running mean / min / max / sum accumulator. */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/** Arithmetic mean of a sample vector; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean of a positive sample vector; 0 for an empty vector. */
+double geomean(const std::vector<double> &xs);
+
+} // namespace pathsched
+
+#endif // PATHSCHED_SUPPORT_STATISTICS_HPP

@@ -1,0 +1,61 @@
+#include "support/strutil.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace pathsched {
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(size_t(n), '\0');
+    std::vsnprintf(out.data(), size_t(n) + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+withCommas(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    const size_t n = digits.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (i && (n - i) % 3 == 0)
+            out += ',';
+        out += digits[i];
+    }
+    return out;
+}
+
+std::string
+padLeft(const std::string &s, size_t width)
+{
+    return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t width)
+{
+    return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+} // namespace pathsched

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * String formatting helpers for table-style report output.
+ */
+
+#ifndef PATHSCHED_SUPPORT_STRUTIL_HPP
+#define PATHSCHED_SUPPORT_STRUTIL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pathsched {
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Join the elements of @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Render a count with thousands separators, e.g. 1234567 -> "1,234,567". */
+std::string withCommas(uint64_t value);
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, size_t width);
+
+} // namespace pathsched
+
+#endif // PATHSCHED_SUPPORT_STRUTIL_HPP

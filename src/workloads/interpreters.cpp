@@ -1,0 +1,1390 @@
+/**
+ * @file
+ * Call-heavy and interpreter-style workloads: gcc, go, li, m88k(sim)
+ * and perl.
+ *
+ * Control-flow characters per the paper's discussion (§4):
+ *  - gcc: many procedures, large code footprint, irregular branch
+ *    probabilities — code expansion raises its I-cache miss rate;
+ *  - go: low-iteration-count loops and frequent procedure calls with
+ *    poorly predictable branches ("unrolling alone is insufficient");
+ *  - li: a recursive expression interpreter — frequent calls, little
+ *    to unroll;
+ *  - m88ksim: a fetch/decode/execute loop whose dispatch follows a
+ *    dominant opcode mix;
+ *  - perl: a bytecode VM whose dispatch *sequence* repeats with the
+ *    interpreted program's loop — exactly the cross-iteration branch
+ *    correlation that general paths capture and edge profiles cannot.
+ */
+
+#include "workloads/workloads.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace pathsched::workloads {
+
+using ir::BlockId;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::ProcId;
+using ir::RegId;
+
+Workload
+makeLi()
+{
+    Workload w;
+    w.name = "li";
+    w.description = "Recursive expression-tree interpreter";
+    w.group = "SPECint95";
+
+    // Memory: [0] = root count, [1] = repeat count; root node indices
+    // from kRoots; an association list (env) of 3-word cells
+    // [key, value, next+1] from kEnv (8 cells); expression nodes of 4
+    // words [op, left, right, value] from kNodes.  op 0 = leaf (value
+    // is an env key), 1 = add, 2 = mul, 3 = xor.
+    constexpr int64_t kRoots = 16;
+    constexpr int64_t kMaxRoots = 64;
+    constexpr int64_t kEnv = kRoots + kMaxRoots;
+    constexpr int64_t kEnvCells = 8;
+    constexpr int64_t kNodes = kEnv + kEnvCells * 3;
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+    const ProcId eval = b.newProc("eval", 1);   // node index -> value
+    const ProcId env_get = b.newProc("envGet", 1); // key -> value
+
+    // --- envGet(key): assoc-list walk, xlisp style ---
+    {
+        b.setProc(env_get);
+        const BlockId entry = 0;
+        const BlockId walk = b.newBlock();
+        const BlockId found = b.newBlock();
+        const BlockId next = b.newBlock();
+        const BlockId missing = b.newBlock();
+
+        const RegId key = b.param(0);
+        const RegId cell = b.freshReg();
+
+        b.setBlock(entry);
+        b.ldiTo(cell, 0); // head cell index
+        b.jmp(walk);
+
+        b.setBlock(walk);
+        {
+            const RegId t = b.muli(cell, 3);
+            const RegId ca = b.addi(t, kEnv);
+            const RegId k = b.ld(ca, 0);
+            const RegId e = b.cmpEq(k, key);
+            b.brnz(e, found, next);
+        }
+
+        b.setBlock(found);
+        {
+            const RegId t = b.muli(cell, 3);
+            const RegId ca = b.addi(t, kEnv);
+            const RegId v = b.ld(ca, 1);
+            b.ret(v);
+        }
+
+        b.setBlock(next);
+        {
+            const RegId t = b.muli(cell, 3);
+            const RegId ca = b.addi(t, kEnv);
+            const RegId link = b.ld(ca, 2); // next+1, 0 terminates
+            b.movTo(cell, b.alui(Opcode::Sub, link, 1));
+            b.brnz(link, walk, missing);
+        }
+
+        b.setBlock(missing);
+        {
+            const RegId z = b.ldi(0);
+            b.ret(z);
+        }
+    }
+
+    {
+        b.setProc(eval);
+        const BlockId entry = 0;
+        const BlockId inner = b.newBlock();
+        const BlockId is_add = b.newBlock();
+        const BlockId not_add = b.newBlock();
+        const BlockId is_mul = b.newBlock();
+        const BlockId is_xor = b.newBlock();
+        const BlockId leaf = b.newBlock();
+
+        const RegId idx = b.param(0);
+        const RegId ra = b.freshReg();
+        const RegId op = b.freshReg();
+        const RegId lv = b.freshReg();
+        const RegId rv = b.freshReg();
+
+        b.setBlock(entry);
+        {
+            const RegId t = b.muli(idx, 4);
+            b.aluiTo(Opcode::Add, ra, t, kNodes);
+            b.ldTo(op, ra, 0);
+            b.brnz(op, inner, leaf);
+        }
+
+        b.setBlock(inner);
+        {
+            const RegId l = b.ld(ra, 1);
+            const RegId r = b.ld(ra, 2);
+            const RegId lval = b.callValue(eval, {l});
+            b.movTo(lv, lval);
+            const RegId rval = b.callValue(eval, {r});
+            b.movTo(rv, rval);
+            const RegId c = b.cmpEqi(op, 1);
+            b.brnz(c, is_add, not_add);
+        }
+
+        b.setBlock(is_add);
+        {
+            const RegId s = b.add(lv, rv);
+            b.ret(s);
+        }
+
+        b.setBlock(not_add);
+        {
+            const RegId c = b.cmpEqi(op, 2);
+            b.brnz(c, is_mul, is_xor);
+        }
+
+        b.setBlock(is_mul);
+        {
+            const RegId s = b.mul(lv, rv);
+            const RegId m = b.alui(Opcode::And, s, 0xffffff);
+            b.ret(m);
+        }
+
+        b.setBlock(is_xor);
+        {
+            const RegId s = b.alu(Opcode::Xor, lv, rv);
+            const RegId s3 = b.addi(s, 3);
+            b.ret(s3);
+        }
+
+        b.setBlock(leaf);
+        {
+            const RegId k = b.ld(ra, 3);
+            const RegId v = b.callValue(env_get, {k});
+            b.ret(v);
+        }
+    }
+
+    {
+        b.setProc(main);
+        const BlockId entry = 0;
+        const BlockId rep_head = b.newBlock();
+        const BlockId tree_head = b.newBlock();
+        const BlockId tree_body = b.newBlock();
+        const BlockId rep_latch = b.newBlock();
+        const BlockId done = b.newBlock();
+
+        const RegId zero = b.freshReg();
+        const RegId nroots = b.freshReg();
+        const RegId reps = b.freshReg();
+        const RegId rep = b.freshReg();
+        const RegId r = b.freshReg();
+        const RegId acc = b.freshReg();
+
+        b.setBlock(entry);
+        b.ldiTo(zero, 0);
+        b.ldTo(nroots, zero, 0);
+        b.ldTo(reps, zero, 1);
+        b.ldiTo(rep, 0);
+        b.ldiTo(acc, 0);
+        b.jmp(rep_head);
+
+        b.setBlock(rep_head);
+        {
+            const RegId c = b.alu(Opcode::CmpLt, rep, reps);
+            b.brnz(c, tree_head, done);
+        }
+
+        b.setBlock(tree_head);
+        b.ldiTo(r, 0);
+        b.jmp(tree_body);
+
+        b.setBlock(tree_body);
+        {
+            const RegId addr = b.addi(r, kRoots);
+            const RegId root = b.ld(addr, 0);
+            const RegId v = b.callValue(eval, {root});
+            b.aluTo(Opcode::Xor, acc, acc, v);
+            b.aluiTo(Opcode::Add, r, r, 1);
+            const RegId c = b.alu(Opcode::CmpLt, r, nroots);
+            b.brnz(c, tree_body, rep_latch);
+        }
+
+        b.setBlock(rep_latch);
+        b.aluiTo(Opcode::Add, rep, rep, 1);
+        b.jmp(rep_head);
+
+        b.setBlock(done);
+        b.emitValue(acc);
+        b.ret(acc);
+    }
+
+    w.program.mainProc = main;
+
+    // Host-side tree builder: random topology, ops skewed toward add.
+    auto makeTrees = [&](uint64_t seed, int64_t roots, int64_t reps) {
+        Rng rng(seed);
+        std::vector<int64_t> nodes; // flat [op,l,r,v] quads
+        auto addNode = [&](int64_t op, int64_t l, int64_t r, int64_t v) {
+            nodes.insert(nodes.end(), {op, l, r, v});
+            return int64_t(nodes.size() / 4 - 1);
+        };
+        // Recursive build via explicit generator lambda.
+        auto build = [&](auto &&self, int depth) -> int64_t {
+            if (depth >= 6 || (depth > 1 && rng.chance(0.30))) {
+                // Leaf: an env key, skewed toward the front of the
+                // assoc list so lookups usually end in 1-3 steps.
+                const int64_t key =
+                    rng.chance(0.85) ? int64_t(rng.below(2))
+                                     : int64_t(rng.below(kEnvCells));
+                return addNode(0, 0, 0, key);
+            }
+            const double pick = rng.uniform();
+            const int64_t op = pick < 0.6 ? 1 : pick < 0.85 ? 2 : 3;
+            const int64_t l = self(self, depth + 1);
+            const int64_t r = self(self, depth + 1);
+            return addNode(op, l, r, 0);
+        };
+        std::vector<int64_t> mem(size_t(kNodes), 0);
+        mem[0] = roots;
+        mem[1] = reps;
+        // Assoc list: cell i holds key i, value, link to cell i+1.
+        for (int64_t c = 0; c < kEnvCells; ++c) {
+            const size_t at = size_t(kEnv + c * 3);
+            mem[at] = c;
+            mem[at + 1] = int64_t(rng.below(1000));
+            mem[at + 2] = c + 1 < kEnvCells ? c + 2 : 0;
+        }
+        for (int64_t t = 0; t < roots; ++t)
+            mem[size_t(kRoots + t)] = build(build, 0);
+        mem.insert(mem.end(), nodes.begin(), nodes.end());
+        return mem;
+    };
+    w.train.memImage = makeTrees(0x11a11001, 24, 70);
+    w.test.memImage = makeTrees(0x11a11002, 24, 120);
+    const size_t words = std::max(w.train.memImage.size(),
+                                  w.test.memImage.size());
+    w.program.memWords = words + 16;
+    return w;
+}
+
+Workload
+makeGo()
+{
+    Workload w;
+    w.name = "go";
+    w.description = "Board evaluation: short loops, frequent calls";
+    w.group = "SPECint95";
+
+    // Memory: [0] = move count; 21x21 board (sentinel border value 3)
+    // from kBoard; candidate positions from kMoves; neighbor deltas at
+    // kDeltas.
+    constexpr int64_t kBoard = 16;
+    constexpr int64_t kSize = 21;
+    constexpr int64_t kMoves = kBoard + kSize * kSize;
+    constexpr int64_t kMaxMoves = 30000;
+    constexpr int64_t kDeltas = kMoves + kMaxMoves;
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+    const ProcId liberties = b.newProc("liberties", 1); // pos -> 0..4
+    const ProcId eval_point = b.newProc("evalPoint", 1); // pos -> score
+
+    // --- liberties(pos): count empty neighbors, early exit at 2 ---
+    {
+        b.setProc(liberties);
+        const BlockId entry = 0;
+        const BlockId loop = b.newBlock();
+        const BlockId empty = b.newBlock();
+        const BlockId latch = b.newBlock();
+        const BlockId out = b.newBlock();
+
+        const RegId pos = b.param(0);
+        const RegId d = b.freshReg();
+        const RegId libs = b.freshReg();
+
+        b.setBlock(entry);
+        b.ldiTo(d, 0);
+        b.ldiTo(libs, 0);
+        b.jmp(loop);
+
+        b.setBlock(loop);
+        {
+            const RegId da = b.addi(d, kDeltas);
+            const RegId delta = b.ld(da, 0);
+            const RegId nb = b.add(pos, delta);
+            const RegId na = b.addi(nb, kBoard);
+            const RegId v = b.ld(na, 0);
+            const RegId is_empty = b.cmpEqi(v, 0);
+            b.brnz(is_empty, empty, latch);
+        }
+
+        b.setBlock(empty);
+        {
+            b.aluiTo(Opcode::Add, libs, libs, 1);
+            const RegId enough = b.alui(Opcode::CmpGe, libs, 2);
+            b.brnz(enough, out, latch); // early exit: 2 is enough
+        }
+
+        b.setBlock(latch);
+        {
+            b.aluiTo(Opcode::Add, d, d, 1);
+            const RegId c = b.cmpLti(d, 4);
+            b.brnz(c, loop, out);
+        }
+
+        b.setBlock(out);
+        b.ret(libs);
+    }
+
+    // --- evalPoint(pos): classify the four neighbors ---
+    {
+        b.setProc(eval_point);
+        const BlockId entry = 0;
+        const BlockId loop = b.newBlock();
+        const BlockId empty = b.newBlock();
+        const BlockId stone = b.newBlock();
+        const BlockId mine = b.newBlock();
+        const BlockId not_mine = b.newBlock();
+        const BlockId theirs = b.newBlock();
+        const BlockId latch = b.newBlock();
+        const BlockId out = b.newBlock();
+
+        const RegId pos = b.param(0);
+        const RegId d = b.freshReg();
+        const RegId score = b.freshReg();
+
+        b.setBlock(entry);
+        b.ldiTo(d, 0);
+        b.ldiTo(score, 0);
+        b.jmp(loop);
+
+        b.setBlock(loop);
+        {
+            const RegId da = b.addi(d, kDeltas);
+            const RegId delta = b.ld(da, 0);
+            const RegId nb = b.add(pos, delta);
+            const RegId na = b.addi(nb, kBoard);
+            const RegId v = b.ld(na, 0);
+            const RegId is_empty = b.cmpEqi(v, 0);
+            b.brnz(is_empty, empty, stone);
+        }
+
+        b.setBlock(empty);
+        b.aluiTo(Opcode::Add, score, score, 1);
+        b.jmp(latch);
+
+        b.setBlock(stone);
+        {
+            const RegId da = b.addi(d, kDeltas);
+            const RegId delta = b.ld(da, 0);
+            const RegId nb = b.add(pos, delta);
+            const RegId na = b.addi(nb, kBoard);
+            const RegId v = b.ld(na, 0);
+            const RegId is_mine = b.cmpEqi(v, 1);
+            b.brnz(is_mine, mine, not_mine);
+        }
+
+        b.setBlock(not_mine);
+        {
+            // Border sentinels (value 3) are stones of neither colour;
+            // never chase their liberties.
+            const RegId da = b.addi(d, kDeltas);
+            const RegId delta = b.ld(da, 0);
+            const RegId nb = b.add(pos, delta);
+            const RegId na = b.addi(nb, kBoard);
+            const RegId v = b.ld(na, 0);
+            const RegId is_theirs = b.cmpEqi(v, 2);
+            b.brnz(is_theirs, theirs, latch);
+        }
+
+        b.setBlock(mine);
+        {
+            const RegId da = b.addi(d, kDeltas);
+            const RegId delta = b.ld(da, 0);
+            const RegId nb = b.add(pos, delta);
+            const RegId l = b.callValue(liberties, {nb});
+            const RegId t = b.muli(l, 2);
+            b.aluTo(Opcode::Add, score, score, t);
+            b.jmp(latch);
+        }
+
+        b.setBlock(theirs);
+        {
+            const RegId da = b.addi(d, kDeltas);
+            const RegId delta = b.ld(da, 0);
+            const RegId nb = b.add(pos, delta);
+            const RegId l = b.callValue(liberties, {nb});
+            const RegId one = b.ldi(1);
+            const RegId weak = b.sub(one, l); // negative when alive
+            b.aluTo(Opcode::Add, score, score, weak);
+            b.jmp(latch);
+        }
+
+        b.setBlock(latch);
+        {
+            b.aluiTo(Opcode::Add, d, d, 1);
+            const RegId c = b.cmpLti(d, 4);
+            b.brnz(c, loop, out);
+        }
+
+        b.setBlock(out);
+        b.ret(score);
+    }
+
+    // --- generated pattern evaluators ---
+    // Real go engines carry hundreds of pattern-matching routines;
+    // this family gives the workload a realistically large static
+    // footprint so code-expanding formation shows up in the I-cache
+    // (the paper: go's miss rate rises from 2.53% to 4.67% under the
+    // path-based approach).
+    constexpr int kPatterns = 256;
+    std::vector<ProcId> patterns;
+    for (int k = 0; k < kPatterns; ++k) {
+        Rng shape(0x60900000ULL + uint64_t(k));
+        const ProcId pk = b.newProc("pattern" + std::to_string(k), 1);
+        patterns.push_back(pk);
+        const RegId pos = b.param(0);
+        const BlockId armA = b.newBlock();
+        const BlockId armB = b.newBlock();
+        const BlockId join = b.newBlock();
+        const RegId pacc = b.freshReg();
+
+        b.setBlock(0);
+        {
+            RegId v = pos;
+            const int pre = 3 + int(shape.below(6));
+            for (int i = 0; i < pre; ++i)
+                v = b.alui(shape.chance(0.5) ? Opcode::Add : Opcode::Xor,
+                           v, int64_t(1 + shape.below(127)));
+            b.movTo(pacc, v);
+            const RegId na = b.addi(pos, kBoard);
+            const RegId bv = b.ld(na, 0);
+            b.brnz(bv, armA, armB);
+        }
+
+        b.setBlock(armA);
+        {
+            RegId v = pacc;
+            const int ops = 4 + int(shape.below(10));
+            for (int i = 0; i < ops; ++i)
+                v = b.alui(shape.chance(0.6) ? Opcode::Add : Opcode::Xor,
+                           v, int64_t(1 + shape.below(255)));
+            if (shape.chance(0.3)) {
+                const RegId l = b.callValue(liberties, {pos});
+                v = b.add(v, l);
+            }
+            b.movTo(pacc, v);
+            b.jmp(join);
+        }
+
+        b.setBlock(armB);
+        {
+            RegId v = pacc;
+            const int ops = 4 + int(shape.below(10));
+            for (int i = 0; i < ops; ++i)
+                v = b.alui(shape.chance(0.6) ? Opcode::Xor : Opcode::Add,
+                           v, int64_t(1 + shape.below(255)));
+            b.movTo(pacc, v);
+            b.jmp(join);
+        }
+
+        b.setBlock(join);
+        {
+            const RegId m = b.alui(Opcode::And, pacc, 0xffff);
+            b.ret(m);
+        }
+    }
+
+    // --- main ---
+    {
+        b.setProc(main);
+        const BlockId entry = 0;
+        const BlockId head = b.newBlock();
+        const BlockId body = b.newBlock();
+        const BlockId good = b.newBlock();
+        const BlockId latch = b.newBlock();
+        const BlockId done = b.newBlock();
+
+        const RegId zero = b.freshReg();
+        const RegId nmoves = b.freshReg();
+        const RegId i = b.freshReg();
+        const RegId acc = b.freshReg();
+        const RegId best = b.freshReg();
+
+        b.setBlock(entry);
+        b.ldiTo(zero, 0);
+        b.ldTo(nmoves, zero, 0);
+        b.ldiTo(i, 0);
+        b.ldiTo(acc, 0);
+        b.ldiTo(best, 0);
+        b.jmp(head);
+
+        b.setBlock(head);
+        {
+            const RegId c = b.alu(Opcode::CmpLt, i, nmoves);
+            b.brnz(c, body, done);
+        }
+
+        const RegId sel = b.freshReg();
+        const RegId cur_pos = b.freshReg();
+        const RegId cur_s = b.freshReg();
+        const BlockId after = b.newBlock();
+        std::vector<BlockId> leaves;
+        for (int k = 0; k < kPatterns; ++k)
+            leaves.push_back(b.newBlock());
+
+        b.setBlock(body);
+        {
+            const RegId ma = b.addi(i, kMoves);
+            b.ldTo(cur_pos, ma, 0);
+            const RegId s = b.callValue(eval_point, {cur_pos});
+            b.movTo(cur_s, s);
+            b.aluTo(Opcode::Add, acc, acc, s);
+            const RegId t1 = b.muli(s, 13);
+            const RegId t2 = b.add(cur_pos, t1);
+            b.aluiTo(Opcode::And, sel, t2, kPatterns - 1);
+            b.jmp(head); // placeholder, patched onto the dispatch tree
+        }
+
+        // Binary decision tree over the pattern family.
+        auto tree = [&](auto &&self, int lo, int hi) -> BlockId {
+            if (hi - lo == 1)
+                return leaves[size_t(lo)];
+            const BlockId node = b.newBlock();
+            const int mid = (lo + hi) / 2;
+            const BlockId left = self(self, lo, mid);
+            const BlockId right = self(self, mid, hi);
+            b.setBlock(node);
+            const RegId c = b.cmpLti(sel, mid);
+            b.brnz(c, left, right);
+            return node;
+        };
+        const BlockId root = tree(tree, 0, kPatterns);
+        w.program.proc(main).blocks[body].terminator().target0 = root;
+
+        for (int k = 0; k < kPatterns; ++k) {
+            b.setBlock(leaves[size_t(k)]);
+            const RegId v = b.callValue(patterns[size_t(k)], {cur_pos});
+            b.aluTo(Opcode::Add, acc, acc, v);
+            b.jmp(after);
+        }
+
+        b.setBlock(after);
+        {
+            const RegId better = b.alu(Opcode::CmpGt, cur_s, best);
+            b.brnz(better, good, latch);
+        }
+
+        b.setBlock(good);
+        {
+            const RegId s = b.callValue(eval_point, {cur_pos});
+            b.movTo(best, s);
+            b.jmp(latch);
+        }
+
+        b.setBlock(latch);
+        {
+            b.aluiTo(Opcode::Add, i, i, 1);
+            b.jmp(head);
+        }
+
+        b.setBlock(done);
+        b.emitValue(acc);
+        b.emitValue(best);
+        b.ret(acc);
+    }
+
+    w.program.mainProc = main;
+
+    auto makeInput = [&](uint64_t seed, int64_t moves) {
+        Rng rng(seed);
+        std::vector<int64_t> mem(size_t(kDeltas + 4), 0);
+        mem[0] = moves;
+        // Board: border = 3, interior 0/1/2 with ~55% empty.
+        for (int64_t y = 0; y < kSize; ++y) {
+            for (int64_t x = 0; x < kSize; ++x) {
+                const size_t at = size_t(kBoard + y * kSize + x);
+                if (x == 0 || y == 0 || x == kSize - 1 || y == kSize - 1) {
+                    mem[at] = 3;
+                } else {
+                    // Mostly empty with clustered stones: real boards
+                    // have strong local structure, which is what makes
+                    // evaluation paths repeat.
+                    const double p = rng.uniform();
+                    const int64_t left = mem[at - 1];
+                    if (left != 0 && left != 3 && rng.chance(0.5)) {
+                        mem[at] = left; // extend the neighboring group
+                    } else {
+                        mem[at] = p < 0.70 ? 0 : p < 0.88 ? 1 : 2;
+                    }
+                }
+            }
+        }
+        // Candidate positions: interior cells only.
+        for (int64_t k = 0; k < moves; ++k) {
+            const int64_t x = 1 + int64_t(rng.below(kSize - 2));
+            const int64_t y = 1 + int64_t(rng.below(kSize - 2));
+            mem[size_t(kMoves + k)] = y * kSize + x;
+        }
+        mem[size_t(kDeltas + 0)] = -kSize;
+        mem[size_t(kDeltas + 1)] = -1;
+        mem[size_t(kDeltas + 2)] = 1;
+        mem[size_t(kDeltas + 3)] = kSize;
+        return mem;
+    };
+    w.train.memImage = makeInput(0x60600001, 9000);
+    w.test.memImage = makeInput(0x60600002, 15000);
+    w.program.memWords = uint64_t(kDeltas + 4 + 8);
+    return w;
+}
+
+Workload
+makeGcc()
+{
+    Workload w;
+    w.name = "gcc";
+    w.description = "Token dispatch across a large family of handlers";
+    w.group = "SPECint95";
+
+    // Memory: [0] = token count; tokens from kToks; symbol table of
+    // 256 direct-mapped slots at kSyms; emit counters at kCnt.
+    //
+    // The structure mirrors what makes gcc interesting in the paper:
+    // a large code footprint (a 64-way dispatch into generated handler
+    // procedures, like gcc's big switches), irregular per-handler
+    // branch probabilities, and a working set whose duplication-driven
+    // growth shows up in the I-cache (gcc's miss rate rises from 2.67%
+    // to 3.92% under the path-based approach in the paper).
+    constexpr int64_t kToks = 16;
+    constexpr int64_t kMaxToks = 70000;
+    constexpr int64_t kSyms = kToks + kMaxToks;
+    constexpr int64_t kCnt = kSyms + 256;
+    constexpr int kHandlers = 256;
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+    const ProcId emit_node = b.newProc("emitNode", 2); // (kind, val)
+    const ProcId sym_ref = b.newProc("symRef", 1);     // ident -> 0/1
+
+    // --- emitNode(kind, val): bump a counter, fold val ---
+    {
+        b.setProc(emit_node);
+        const RegId kind = b.param(0);
+        const RegId val = b.param(1);
+        b.setBlock(0);
+        const RegId ca = b.addi(kind, kCnt);
+        const RegId old = b.ld(ca, 0);
+        const RegId t = b.muli(old, 3);
+        const RegId t2 = b.add(t, val);
+        const RegId m = b.alui(Opcode::And, t2, 0xfffff);
+        b.st(ca, 0, m);
+        b.ret(m);
+    }
+
+    // --- symRef(ident): direct-mapped symbol table reference ---
+    {
+        b.setProc(sym_ref);
+        const BlockId hitb = b.newBlock();
+        const BlockId missb = b.newBlock();
+        const RegId ident = b.param(0);
+        const RegId sa = b.freshReg();
+
+        b.setBlock(0);
+        {
+            const RegId h = b.alui(Opcode::And, ident, 255);
+            b.aluiTo(Opcode::Add, sa, h, kSyms);
+            const RegId cur = b.ld(sa, 0);
+            const RegId e = b.cmpEq(cur, ident);
+            b.brnz(e, hitb, missb);
+        }
+        b.setBlock(hitb);
+        {
+            const RegId one = b.ldi(1);
+            b.ret(one);
+        }
+        b.setBlock(missb);
+        {
+            b.st(sa, 0, ident);
+            const RegId z = b.ldi(0);
+            b.ret(z);
+        }
+    }
+
+    // --- 64 generated handlers, each with its own branchy body ---
+    std::vector<ProcId> handlers;
+    for (int k = 0; k < kHandlers; ++k) {
+        Rng shape(0x9cc00000ULL + uint64_t(k));
+        const ProcId h = b.newProc("handle" + std::to_string(k), 1);
+        handlers.push_back(h);
+        const RegId tok = b.param(0);
+        const BlockId armA = b.newBlock();
+        const BlockId armB = b.newBlock();
+        const BlockId join = b.newBlock();
+        const RegId acc = b.freshReg();
+
+        b.setBlock(0);
+        {
+            // A few handler-specific ALU ops, then a data-dependent
+            // branch whose bias varies per handler.
+            RegId v = tok;
+            const int pre_ops = 4 + int(shape.below(8));
+            for (int i = 0; i < pre_ops; ++i) {
+                const Opcode op = shape.chance(0.5) ? Opcode::Add
+                                : shape.chance(0.5) ? Opcode::Xor
+                                                    : Opcode::Mul;
+                v = b.alui(op, v, int64_t(1 + shape.below(97)));
+            }
+            b.movTo(acc, v);
+            const int bit = int(shape.below(4));
+            const RegId t = b.alui(Opcode::Shr, tok, bit);
+            const RegId c = b.alui(Opcode::And, t, 1);
+            b.brnz(c, armA, armB);
+        }
+
+        b.setBlock(armA);
+        {
+            RegId v = acc;
+            const int ops = 6 + int(shape.below(12));
+            for (int i = 0; i < ops; ++i)
+                v = b.alui(shape.chance(0.6) ? Opcode::Add : Opcode::Xor,
+                           v, int64_t(1 + shape.below(255)));
+            if (shape.chance(0.5)) {
+                const RegId e = b.callValue(emit_node,
+                                            {b.ldi(k & 7), v});
+                v = b.add(v, e);
+            }
+            b.movTo(acc, v);
+            b.jmp(join);
+        }
+
+        b.setBlock(armB);
+        {
+            RegId v = acc;
+            const int ops = 6 + int(shape.below(12));
+            for (int i = 0; i < ops; ++i)
+                v = b.alui(shape.chance(0.6) ? Opcode::Xor : Opcode::Add,
+                           v, int64_t(1 + shape.below(255)));
+            if (shape.chance(0.4)) {
+                const RegId s = b.callValue(sym_ref, {v});
+                v = b.add(v, s);
+            }
+            b.movTo(acc, v);
+            b.jmp(join);
+        }
+
+        b.setBlock(join);
+        {
+            const RegId m = b.alui(Opcode::And, acc, 0xffffff);
+            b.ret(m);
+        }
+    }
+
+    // --- main: fetch tokens, binary-tree dispatch over 64 handlers ---
+    {
+        b.setProc(main);
+        const BlockId head = b.newBlock();
+        const BlockId fetch = b.newBlock();
+        const BlockId latch = b.newBlock();
+        const BlockId done = b.newBlock();
+
+        const RegId zero = b.freshReg();
+        const RegId ntoks = b.freshReg();
+        const RegId i = b.freshReg();
+        const RegId acc = b.freshReg();
+        const RegId tok = b.freshReg();
+        const RegId sel = b.freshReg();
+
+        // Call-leaf blocks, one per handler.
+        std::vector<BlockId> leaves;
+        for (int k = 0; k < kHandlers; ++k)
+            leaves.push_back(b.newBlock());
+
+        b.setBlock(0);
+        b.ldiTo(zero, 0);
+        b.ldTo(ntoks, zero, 0);
+        b.ldiTo(i, 0);
+        b.ldiTo(acc, 0);
+        b.jmp(head);
+
+        b.setBlock(head);
+        {
+            const RegId c = b.alu(Opcode::CmpLt, i, ntoks);
+            b.brnz(c, fetch, done);
+        }
+
+        b.setBlock(fetch);
+        {
+            const RegId ta = b.addi(i, kToks);
+            b.ldTo(tok, ta, 0);
+            const RegId t = b.alui(Opcode::Shr, tok, 6);
+            b.aluiTo(Opcode::And, sel, t, kHandlers - 1);
+            b.jmp(1); // placeholder; replaced after tree construction
+        }
+
+        // Recursive binary decision tree over [lo, hi).
+        auto tree = [&](auto &&self, int lo, int hi) -> BlockId {
+            if (hi - lo == 1)
+                return leaves[size_t(lo)];
+            const BlockId node = b.newBlock();
+            const int mid = (lo + hi) / 2;
+            const BlockId left = self(self, lo, mid);
+            const BlockId right = self(self, mid, hi);
+            b.setBlock(node);
+            const RegId c = b.cmpLti(sel, mid);
+            b.brnz(c, left, right);
+            return node;
+        };
+        const BlockId root = tree(tree, 0, kHandlers);
+        // Patch the fetch block\'s terminator onto the tree root.
+        w.program.proc(main).blocks[fetch].terminator().target0 = root;
+
+        for (int k = 0; k < kHandlers; ++k) {
+            b.setBlock(leaves[size_t(k)]);
+            const RegId v = b.callValue(handlers[size_t(k)], {tok});
+            b.aluTo(Opcode::Add, acc, acc, v);
+            b.jmp(latch);
+        }
+
+        b.setBlock(latch);
+        {
+            const RegId m = b.alui(Opcode::And, acc, 0xffffff);
+            b.movTo(acc, m);
+            b.aluiTo(Opcode::Add, i, i, 1);
+            b.jmp(head);
+        }
+
+        b.setBlock(done);
+        b.emitValue(acc);
+        b.ret(acc);
+    }
+
+    w.program.mainProc = main;
+
+    auto makeTokens = [&](uint64_t seed, int64_t count) {
+        Rng rng(seed);
+        std::vector<int64_t> mem(size_t(kToks + count), 0);
+        mem[0] = count;
+        for (int64_t k = 0; k < count; ++k) {
+            // Zipf-ish handler popularity: a hot head, a long tail —
+            // the dynamic footprint covers most of the handler family.
+            const double u = rng.uniform();
+            const int64_t h = int64_t(double(kHandlers) * u * u);
+            const int64_t payload = int64_t(rng.below(64));
+            const int64_t hi = int64_t(rng.below(1024));
+            mem[size_t(kToks + k)] =
+                (hi << 12) | (std::min<int64_t>(h, kHandlers - 1) << 6) |
+                payload;
+        }
+        return mem;
+    };
+    w.train.memImage = makeTokens(0x6cc00001, 25000);
+    w.test.memImage = makeTokens(0x6cc00002, 40000);
+    w.program.memWords = uint64_t(kCnt + 16);
+    return w;
+}
+
+Workload
+makeM88ksim()
+{
+    Workload w;
+    w.name = "m88k";
+    w.description = "Fetch/decode/execute microprocessor simulator";
+    w.group = "SPECint95";
+
+    // Memory: [0] = simulated instruction count to run; simulated code
+    // from kCode (4 words per instruction: op, rd, rs, imm); simulated
+    // register file (16) at kRegs; simulated data memory at kSData.
+    constexpr int64_t kCode = 16;
+    constexpr int64_t kMaxCode = 64 * 4;
+    constexpr int64_t kRegs = kCode + kMaxCode;
+    constexpr int64_t kSData = kRegs + 16;
+    constexpr int64_t kSDataWords = 256;
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+
+    const BlockId entry = 0;
+    const BlockId head = b.newBlock();
+    const BlockId decode = b.newBlock();
+    const BlockId grp_alu = b.newBlock();
+    const BlockId grp_mem = b.newBlock();
+    const BlockId op_addi = b.newBlock();
+    const BlockId op_add = b.newBlock();
+    const BlockId op_xor = b.newBlock();
+    const BlockId op_ld = b.newBlock();
+    const BlockId op_st = b.newBlock();
+    const BlockId op_beq = b.newBlock();
+    const BlockId beq_taken = b.newBlock();
+    const BlockId advance = b.newBlock();
+    const BlockId done = b.newBlock();
+
+    const RegId zero = b.freshReg();
+    const RegId budget = b.freshReg();
+    const RegId executed = b.freshReg();
+    const RegId pc = b.freshReg();
+    const RegId op = b.freshReg();
+    const RegId rd = b.freshReg();
+    const RegId rs = b.freshReg();
+    const RegId imm = b.freshReg();
+    const RegId acc = b.freshReg();
+
+    b.setBlock(entry);
+    b.ldiTo(zero, 0);
+    b.ldTo(budget, zero, 0);
+    b.ldiTo(executed, 0);
+    b.ldiTo(pc, 0);
+    b.ldiTo(acc, 0);
+    b.jmp(head);
+
+    b.setBlock(head);
+    {
+        const RegId c = b.alu(Opcode::CmpLt, executed, budget);
+        b.brnz(c, decode, done);
+    }
+
+    b.setBlock(decode);
+    {
+        const RegId t = b.muli(pc, 4);
+        const RegId ia = b.addi(t, kCode);
+        b.ldTo(op, ia, 0);
+        b.ldTo(rd, ia, 1);
+        b.ldTo(rs, ia, 2);
+        b.ldTo(imm, ia, 3);
+        const RegId c = b.cmpLti(op, 3);
+        b.brnz(c, grp_alu, grp_mem);
+    }
+
+    b.setBlock(grp_alu); // ops 0 addi, 1 add, 2 xor
+    {
+        const RegId c = b.cmpLti(op, 1);
+        const BlockId pick12 = b.newBlock();
+        b.brnz(c, op_addi, pick12);
+        b.setBlock(pick12);
+        const RegId c2 = b.cmpEqi(op, 1);
+        b.brnz(c2, op_add, op_xor);
+    }
+
+    b.setBlock(grp_mem); // ops 3 ld, 4 st, 5 beq
+    {
+        const RegId c = b.cmpEqi(op, 3);
+        const BlockId pick45 = b.newBlock();
+        b.brnz(c, op_ld, pick45);
+        b.setBlock(pick45);
+        const RegId c2 = b.cmpEqi(op, 4);
+        b.brnz(c2, op_st, op_beq);
+    }
+
+    b.setBlock(op_addi);
+    {
+        const RegId sa = b.addi(rs, kRegs);
+        const RegId v = b.ld(sa, 0);
+        const RegId r = b.add(v, imm);
+        const RegId da = b.addi(rd, kRegs);
+        b.st(da, 0, r);
+        b.jmp(advance);
+    }
+
+    b.setBlock(op_add);
+    {
+        const RegId sa = b.addi(rs, kRegs);
+        const RegId v = b.ld(sa, 0);
+        const RegId da = b.addi(rd, kRegs);
+        const RegId v2 = b.ld(da, 0);
+        const RegId r = b.add(v, v2);
+        b.st(da, 0, r);
+        b.jmp(advance);
+    }
+
+    b.setBlock(op_xor);
+    {
+        const RegId sa = b.addi(rs, kRegs);
+        const RegId v = b.ld(sa, 0);
+        const RegId da = b.addi(rd, kRegs);
+        const RegId v2 = b.ld(da, 0);
+        const RegId r = b.alu(Opcode::Xor, v, v2);
+        b.st(da, 0, r);
+        b.jmp(advance);
+    }
+
+    b.setBlock(op_ld);
+    {
+        const RegId sa = b.addi(rs, kRegs);
+        const RegId base = b.ld(sa, 0);
+        const RegId off = b.add(base, imm);
+        const RegId masked = b.alui(Opcode::And, off, kSDataWords - 1);
+        const RegId da = b.addi(masked, kSData);
+        const RegId v = b.ld(da, 0);
+        const RegId ra = b.addi(rd, kRegs);
+        b.st(ra, 0, v);
+        b.aluTo(Opcode::Add, acc, acc, v);
+        b.jmp(advance);
+    }
+
+    b.setBlock(op_st);
+    {
+        const RegId sa = b.addi(rs, kRegs);
+        const RegId base = b.ld(sa, 0);
+        const RegId off = b.add(base, imm);
+        const RegId masked = b.alui(Opcode::And, off, kSDataWords - 1);
+        const RegId da = b.addi(masked, kSData);
+        const RegId ra = b.addi(rd, kRegs);
+        const RegId v = b.ld(ra, 0);
+        b.st(da, 0, v);
+        b.jmp(advance);
+    }
+
+    b.setBlock(op_beq);
+    {
+        // beq rd, rs, imm: simulated loop back edge — taken until the
+        // simulated counter register drains, so the simulator's own
+        // dispatch path repeats in long dominant runs.
+        const RegId da = b.addi(rd, kRegs);
+        const RegId v1 = b.ld(da, 0);
+        const RegId sa = b.addi(rs, kRegs);
+        const RegId v2 = b.ld(sa, 0);
+        const RegId ne = b.alu(Opcode::CmpNe, v1, v2);
+        b.brnz(ne, beq_taken, advance);
+    }
+
+    b.setBlock(beq_taken);
+    {
+        b.movTo(pc, imm);
+        b.aluiTo(Opcode::Add, executed, executed, 1);
+        b.jmp(head);
+    }
+
+    b.setBlock(advance);
+    {
+        b.aluiTo(Opcode::Add, pc, pc, 1);
+        b.aluiTo(Opcode::Add, executed, executed, 1);
+        b.jmp(head);
+    }
+
+    b.setBlock(done);
+    {
+        // Fold the simulated register file into the output.
+        const RegId r0 = b.ld(zero, kRegs + 1);
+        const RegId r1 = b.ld(zero, kRegs + 2);
+        const RegId s = b.add(r0, r1);
+        b.aluTo(Opcode::Add, acc, acc, s);
+        b.emitValue(acc);
+        b.ret(acc);
+    }
+
+    w.program.mainProc = main;
+
+    // The simulated program: an 11-instruction loop (dhrystone-ish op
+    // mix) that decrements r1 until it equals r0 (zero).
+    auto makeSim = [&](uint64_t seed, int64_t steps) {
+        Rng rng(seed);
+        std::vector<int64_t> mem(size_t(kSData + kSDataWords), 0);
+        mem[0] = steps;
+        int64_t pc_gen = 0;
+        auto emit = [&](int64_t o, int64_t d, int64_t s, int64_t im) {
+            const size_t at = size_t(kCode + pc_gen * 4);
+            mem[at] = o;
+            mem[at + 1] = d;
+            mem[at + 2] = s;
+            mem[at + 3] = im;
+            ++pc_gen;
+        };
+        emit(0, 1, 0, 1 << 20);   // r1 = big counter
+        emit(0, 2, 0, 3);         // r2 = 3
+        // loop body (pc 2..9)
+        emit(1, 3, 2, 0);         // r3 += r2
+        emit(3, 4, 3, 5);         // r4 = sdata[r3+5]
+        emit(2, 5, 4, 0);         // r5 ^= r4
+        emit(4, 5, 3, 2);         // sdata[r3+2] = r5
+        emit(0, 6, 5, 7);         // r6 = r5 + 7
+        emit(1, 7, 6, 0);         // r7 += r6
+        emit(2, 3, 7, 0);         // r3 ^= r7
+        emit(0, 1, 1, -1);        // r1 -= 1
+        emit(5, 1, 0, 2);         // beq: while r1 != r0 goto pc 2
+        emit(5, 0, 0, 0);         // r0 == r0 -> halt-loop to pc 0? no:
+        // pc 11 reached only when r1 == r0; make it spin forward into
+        // plain ALU filler until the budget expires.
+        for (int f = 0; f < 8; ++f)
+            emit(int64_t(rng.below(3)), 3 + int64_t(rng.below(4)),
+                 3 + int64_t(rng.below(4)), int64_t(rng.below(16)));
+        emit(5, 0, 0, 0); // unconditional-ish jump back to 0 (r0==r0
+                          // never taken; falls through and wraps)
+        emit(0, 3, 3, 1); // filler
+        emit(5, 2, 0, 2); // r2 != 0 -> back to the loop body
+        // seed simulated data memory
+        for (size_t k = size_t(kSData); k < mem.size(); ++k)
+            mem[k] = int64_t(rng.below(1024));
+        return mem;
+    };
+    w.train.memImage = makeSim(0x88000001, 60000);
+    w.test.memImage = makeSim(0x88000002, 100000);
+    w.program.memWords = uint64_t(kSData + kSDataWords + 8);
+    return w;
+}
+
+Workload
+makePerl()
+{
+    Workload w;
+    w.name = "perl";
+    w.description = "Bytecode VM with stack and hash operations";
+    w.group = "SPECint95";
+
+    // Memory: [0] = VM step budget; bytecode from kCode (2 words per
+    // op: opcode, argument); VM stack at kStack; variables at kVars;
+    // hash table (openly addressed, 256 slots of key/value pairs) at
+    // kHash.
+    constexpr int64_t kCode = 16;
+    constexpr int64_t kMaxCode = 64 * 2;
+    constexpr int64_t kStack = kCode + kMaxCode;
+    constexpr int64_t kStackWords = 64;
+    constexpr int64_t kVars = kStack + kStackWords;
+    constexpr int64_t kHash = kVars + 16;
+
+    // Opcodes: 0 PUSHC, 1 LOADV, 2 STOREV, 3 ADD, 4 MUL3ADD,
+    // 5 HASHPUT, 6 HASHGET, 7 DECJNZ, 8 HALT.
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+
+    const BlockId entry = 0;
+    const BlockId head = b.newBlock();
+    const BlockId fetch = b.newBlock();
+    const BlockId g03 = b.newBlock();
+    const BlockId g01 = b.newBlock();
+    const BlockId g23 = b.newBlock();
+    const BlockId g47 = b.newBlock();
+    const BlockId g45 = b.newBlock();
+    const BlockId g67 = b.newBlock();
+    const BlockId o_pushc = b.newBlock();
+    const BlockId o_loadv = b.newBlock();
+    const BlockId o_storev = b.newBlock();
+    const BlockId o_add = b.newBlock();
+    const BlockId o_mul3 = b.newBlock();
+    const BlockId o_hput = b.newBlock();
+    const BlockId o_hget = b.newBlock();
+    const BlockId o_decjnz = b.newBlock();
+    const BlockId jnz_taken = b.newBlock();
+    const BlockId advance = b.newBlock();
+    const BlockId done = b.newBlock();
+
+    const RegId zero = b.freshReg();
+    const RegId budget = b.freshReg();
+    const RegId steps = b.freshReg();
+    const RegId pc = b.freshReg();
+    const RegId sp = b.freshReg(); // stack depth
+    const RegId op = b.freshReg();
+    const RegId arg = b.freshReg();
+    const RegId acc = b.freshReg();
+
+    b.setBlock(entry);
+    b.ldiTo(zero, 0);
+    b.ldTo(budget, zero, 0);
+    b.ldiTo(steps, 0);
+    b.ldiTo(pc, 0);
+    b.ldiTo(sp, 0);
+    b.ldiTo(acc, 0);
+    b.jmp(head);
+
+    b.setBlock(head);
+    {
+        const RegId c = b.alu(Opcode::CmpLt, steps, budget);
+        b.brnz(c, fetch, done);
+    }
+
+    b.setBlock(fetch);
+    {
+        const RegId t = b.muli(pc, 2);
+        const RegId ia = b.addi(t, kCode);
+        b.ldTo(op, ia, 0);
+        b.ldTo(arg, ia, 1);
+        const RegId c = b.cmpLti(op, 4);
+        b.brnz(c, g03, g47);
+    }
+
+    b.setBlock(g03);
+    {
+        const RegId c = b.cmpLti(op, 2);
+        b.brnz(c, g01, g23);
+    }
+    b.setBlock(g01);
+    {
+        const RegId c = b.cmpEqi(op, 0);
+        b.brnz(c, o_pushc, o_loadv);
+    }
+    b.setBlock(g23);
+    {
+        const RegId c = b.cmpEqi(op, 2);
+        b.brnz(c, o_storev, o_add);
+    }
+    b.setBlock(g47);
+    {
+        const RegId c = b.cmpLti(op, 6);
+        b.brnz(c, g45, g67);
+    }
+    b.setBlock(g45);
+    {
+        const RegId c = b.cmpEqi(op, 4);
+        b.brnz(c, o_mul3, o_hput);
+    }
+    b.setBlock(g67);
+    {
+        const RegId c = b.cmpEqi(op, 6);
+        b.brnz(c, o_hget, o_decjnz);
+    }
+
+    b.setBlock(o_pushc);
+    {
+        const RegId sa = b.addi(sp, kStack);
+        b.st(sa, 0, arg);
+        b.aluiTo(Opcode::Add, sp, sp, 1);
+        b.jmp(advance);
+    }
+
+    b.setBlock(o_loadv);
+    {
+        const RegId va = b.addi(arg, kVars);
+        const RegId v = b.ld(va, 0);
+        const RegId sa = b.addi(sp, kStack);
+        b.st(sa, 0, v);
+        b.aluiTo(Opcode::Add, sp, sp, 1);
+        b.jmp(advance);
+    }
+
+    b.setBlock(o_storev);
+    {
+        b.aluiTo(Opcode::Sub, sp, sp, 1);
+        const RegId sa = b.addi(sp, kStack);
+        const RegId v = b.ld(sa, 0);
+        const RegId va = b.addi(arg, kVars);
+        b.st(va, 0, v);
+        b.jmp(advance);
+    }
+
+    b.setBlock(o_add);
+    {
+        b.aluiTo(Opcode::Sub, sp, sp, 1);
+        const RegId sa = b.addi(sp, kStack);
+        const RegId v2 = b.ld(sa, 0);
+        const RegId v1 = b.ld(sa, -1);
+        const RegId s = b.add(v1, v2);
+        b.st(sa, -1, s);
+        b.jmp(advance);
+    }
+
+    b.setBlock(o_mul3);
+    {
+        const RegId sa = b.addi(sp, kStack);
+        const RegId v = b.ld(sa, -1);
+        const RegId t = b.muli(v, 3);
+        const RegId t2 = b.add(t, arg);
+        const RegId m = b.alui(Opcode::And, t2, 0xffffff);
+        b.st(sa, -1, m);
+        b.jmp(advance);
+    }
+
+    b.setBlock(o_hput);
+    {
+        // hash[top & 255] = (key, value=top)
+        const RegId sa = b.addi(sp, kStack);
+        const RegId v = b.ld(sa, -1);
+        const RegId h = b.alui(Opcode::And, v, 255);
+        const RegId t = b.muli(h, 2);
+        const RegId ha = b.addi(t, kHash);
+        b.st(ha, 0, v);
+        b.st(ha, 1, v);
+        b.jmp(advance);
+    }
+
+    b.setBlock(o_hget);
+    {
+        const RegId sa = b.addi(sp, kStack);
+        const RegId v = b.ld(sa, -1);
+        const RegId key = b.add(v, arg);
+        const RegId h = b.alui(Opcode::And, key, 255);
+        const RegId t = b.muli(h, 2);
+        const RegId ha = b.addi(t, kHash);
+        const RegId stored = b.ld(ha, 1);
+        const RegId s = b.add(v, stored);
+        b.st(sa, -1, s);
+        b.aluTo(Opcode::Xor, acc, acc, stored);
+        b.jmp(advance);
+    }
+
+    b.setBlock(o_decjnz);
+    {
+        const RegId va = b.addi(arg, kVars);
+        const RegId v = b.ld(va, 0);
+        const RegId v2 = b.alui(Opcode::Sub, v, 1);
+        b.st(va, 0, v2);
+        b.brnz(v2, jnz_taken, advance);
+    }
+
+    b.setBlock(jnz_taken);
+    {
+        b.ldiTo(pc, 2); // loop start in the bytecode program
+        b.aluiTo(Opcode::Add, steps, steps, 1);
+        b.jmp(head);
+    }
+
+    b.setBlock(advance);
+    {
+        b.aluiTo(Opcode::Add, pc, pc, 1);
+        b.aluiTo(Opcode::Add, steps, steps, 1);
+        b.jmp(head);
+    }
+
+    b.setBlock(done);
+    {
+        const RegId sa = b.ldi(kStack);
+        const RegId bot = b.ld(sa, 0);
+        b.aluTo(Opcode::Add, acc, acc, bot);
+        b.emitValue(acc);
+        b.ret(acc);
+    }
+
+    w.program.mainProc = main;
+
+    // Bytecode: v0 = N; s = 0; loop: s=s*3+k; hash ops; v0--; jnz.
+    auto makeProgram = [&](int64_t steps_budget, int64_t loop_count) {
+        std::vector<int64_t> mem(size_t(kHash + 512), 0);
+        mem[0] = steps_budget;
+        int64_t pc_gen = 0;
+        auto emit = [&](int64_t o, int64_t a) {
+            const size_t at = size_t(kCode + pc_gen * 2);
+            mem[at] = o;
+            mem[at + 1] = a;
+            ++pc_gen;
+        };
+        emit(0, loop_count); // PUSHC n
+        emit(2, 0);          // STOREV v0 = n
+        // loop body: pc 2..9
+        emit(0, 17);         // PUSHC 17
+        emit(1, 0);          // LOADV v0
+        emit(3, 0);          // ADD
+        emit(4, 11);         // MUL3ADD 11
+        emit(5, 0);          // HASHPUT
+        emit(6, 5);          // HASHGET +5
+        emit(2, 1);          // STOREV v1 (pops)
+        emit(7, 0);          // DECJNZ v0 -> pc 2
+        emit(8, 0);          // HALT (never reached within budget)
+        // HALT handler: opcode 8 is decoded as o_decjnz? No: op 8
+        // falls into g67's "else" (o_decjnz) with arg 0 -> v0 stays 0,
+        // never taken, pc advances into zeroed code (op 0 PUSHC 0) —
+        // but the budget expires first by construction.
+        return mem;
+    };
+    w.train.memImage = makeProgram(140000, 1 << 30);
+    w.test.memImage = makeProgram(230000, 1 << 30);
+    w.program.memWords = uint64_t(kHash + 512 + 8);
+    return w;
+}
+
+} // namespace pathsched::workloads

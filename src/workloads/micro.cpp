@@ -1,0 +1,356 @@
+/**
+ * @file
+ * The microbenchmarks of Table 1: alt, ph, corr, and wc.
+ *
+ * alt and ph are a single loop around a conditional; alt's condition
+ * follows the periodic pattern TTTF…, ph's is phased (TT…TFF…F).  Both
+ * produce identical edge profiles (75% taken) yet completely different
+ * path profiles — the Fig. 3 motivating examples.  corr is the simple
+ * two-branch correlation example of Young & Smith.  wc is an actual
+ * word-count state machine over synthetic text.
+ */
+
+#include "workloads/workloads.hpp"
+
+#include "ir/builder.hpp"
+#include "workloads/textutil.hpp"
+
+namespace pathsched::workloads {
+
+using ir::BlockId;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::ProcId;
+using ir::RegId;
+
+Workload
+makeAlt()
+{
+    Workload w;
+    w.name = "alt";
+    w.description = "Sorted example: loop conditional follows TTTF...";
+    w.group = "micro";
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 1); // param 0: iteration count
+    const BlockId entry = b.currentBlock();
+    const BlockId loop = b.newBlock();
+    const BlockId left = b.newBlock();
+    const BlockId right = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId done = b.newBlock();
+
+    const RegId n = b.param(0);
+    const RegId i = b.freshReg();
+    const RegId acc = b.freshReg();
+    const RegId aux = b.freshReg();
+
+    b.setBlock(entry);
+    b.ldiTo(i, 0);
+    b.ldiTo(acc, 0);
+    b.ldiTo(aux, 1);
+    b.jmp(loop);
+
+    b.setBlock(loop);
+    {
+        const RegId t = b.alui(Opcode::And, i, 3);
+        const RegId c = b.alui(Opcode::CmpNe, t, 3);
+        b.brnz(c, left, right); // taken 3 of every 4 iterations
+    }
+
+    b.setBlock(left);
+    {
+        b.aluTo(Opcode::Add, acc, acc, i);
+        const RegId t = b.alui(Opcode::Xor, i, 21);
+        b.aluTo(Opcode::Add, acc, acc, t);
+        b.aluiTo(Opcode::Add, aux, aux, 3);
+        b.jmp(latch);
+    }
+
+    b.setBlock(right);
+    {
+        const RegId t = b.alui(Opcode::Mul, acc, 3);
+        b.aluiTo(Opcode::Add, acc, t, 1);
+        b.aluTo(Opcode::Xor, aux, aux, acc);
+        b.jmp(latch);
+    }
+
+    b.setBlock(latch);
+    {
+        b.aluiTo(Opcode::Add, i, i, 1);
+        const RegId c = b.alu(Opcode::CmpLt, i, n);
+        b.brnz(c, loop, done);
+    }
+
+    b.setBlock(done);
+    {
+        const RegId sum = b.add(acc, aux);
+        b.emitValue(sum);
+        b.ret(sum);
+    }
+
+    w.program.mainProc = main;
+    w.program.memWords = 16;
+    w.train.mainArgs = {60000};
+    w.test.mainArgs = {100000};
+    return w;
+}
+
+Workload
+makePh()
+{
+    Workload w;
+    w.name = "ph";
+    w.description = "Phased example: conditional true then false halves";
+    w.group = "micro";
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 1);
+    const BlockId entry = b.currentBlock();
+    const BlockId loop = b.newBlock();
+    const BlockId left = b.newBlock();
+    const BlockId right = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId done = b.newBlock();
+
+    const RegId n = b.param(0);
+    const RegId i = b.freshReg();
+    const RegId acc = b.freshReg();
+    const RegId aux = b.freshReg();
+    const RegId half = b.freshReg();
+
+    b.setBlock(entry);
+    b.ldiTo(i, 0);
+    b.ldiTo(acc, 0);
+    b.ldiTo(aux, 7);
+    b.aluiTo(Opcode::Shr, half, n, 1);
+    b.jmp(loop);
+
+    b.setBlock(loop);
+    {
+        const RegId c = b.alu(Opcode::CmpLt, i, half);
+        b.brnz(c, left, right); // long true phase, then long false phase
+    }
+
+    b.setBlock(left);
+    {
+        b.aluTo(Opcode::Add, acc, acc, i);
+        const RegId t = b.alui(Opcode::And, acc, 1023);
+        b.aluTo(Opcode::Xor, aux, aux, t);
+        b.jmp(latch);
+    }
+
+    b.setBlock(right);
+    {
+        const RegId t = b.alui(Opcode::Shl, i, 1);
+        b.aluTo(Opcode::Sub, acc, acc, t);
+        b.aluiTo(Opcode::Add, aux, aux, 5);
+        b.jmp(latch);
+    }
+
+    b.setBlock(latch);
+    {
+        b.aluiTo(Opcode::Add, i, i, 1);
+        const RegId c = b.alu(Opcode::CmpLt, i, n);
+        b.brnz(c, loop, done);
+    }
+
+    b.setBlock(done);
+    {
+        const RegId sum = b.add(acc, aux);
+        b.emitValue(sum);
+        b.ret(sum);
+    }
+
+    w.program.mainProc = main;
+    w.program.memWords = 16;
+    w.train.mainArgs = {60000};
+    w.test.mainArgs = {100000};
+    return w;
+}
+
+Workload
+makeCorr()
+{
+    Workload w;
+    w.name = "corr";
+    w.description = "Branch correlation example (Young & Smith)";
+    w.group = "micro";
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 1);
+    const BlockId entry = b.currentBlock();
+    const BlockId head = b.newBlock();   // first branch on x
+    const BlockId b_then = b.newBlock();
+    const BlockId b_else = b.newBlock();
+    const BlockId mid = b.newBlock();    // second, correlated branch on x
+    const BlockId c_then = b.newBlock();
+    const BlockId c_else = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId done = b.newBlock();
+
+    const RegId n = b.param(0);
+    const RegId i = b.freshReg();
+    const RegId acc = b.freshReg();
+    const RegId x = b.freshReg();
+
+    b.setBlock(entry);
+    b.ldiTo(i, 0);
+    b.ldiTo(acc, 0);
+    b.jmp(head);
+
+    b.setBlock(head);
+    {
+        // x is true 3 of every 4 iterations; both branches test the
+        // same x, so they are perfectly correlated.  An edge profile
+        // sees two independent 75% branches; only a path profile sees
+        // that the 75% paths line up.
+        const RegId t = b.alui(Opcode::And, i, 3);
+        b.aluiTo(Opcode::CmpNe, x, t, 3);
+        b.brnz(x, b_then, b_else);
+    }
+
+    b.setBlock(b_then);
+    b.aluTo(Opcode::Add, acc, acc, i);
+    b.jmp(mid);
+
+    b.setBlock(b_else);
+    b.aluiTo(Opcode::Xor, acc, acc, 255);
+    b.jmp(mid);
+
+    b.setBlock(mid);
+    b.brnz(x, c_then, c_else); // correlated with the branch in `head`
+
+    b.setBlock(c_then);
+    {
+        const RegId t = b.alui(Opcode::Shl, i, 2);
+        b.aluTo(Opcode::Add, acc, acc, t);
+        b.jmp(latch);
+    }
+
+    b.setBlock(c_else);
+    {
+        const RegId t = b.alui(Opcode::Mul, acc, 5);
+        b.aluiTo(Opcode::Add, acc, t, 3);
+        b.jmp(latch);
+    }
+
+    b.setBlock(latch);
+    {
+        b.aluiTo(Opcode::Add, i, i, 1);
+        const RegId c = b.alu(Opcode::CmpLt, i, n);
+        b.brnz(c, head, done);
+    }
+
+    b.setBlock(done);
+    b.emitValue(acc);
+    b.ret(acc);
+
+    w.program.mainProc = main;
+    w.program.memWords = 16;
+    w.train.mainArgs = {40000};
+    w.test.mainArgs = {70000};
+    return w;
+}
+
+Workload
+makeWc()
+{
+    Workload w;
+    w.name = "wc";
+    w.description = "UNIX word count over synthetic text";
+    w.group = "micro";
+
+    // Memory layout: mem[0] = character count, text from mem[1].
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+    const BlockId entry = b.currentBlock();
+    const BlockId loop = b.newBlock();
+    const BlockId nonspace = b.newBlock();
+    const BlockId newword = b.newBlock();
+    const BlockId space = b.newBlock();
+    const BlockId cont = b.newBlock();
+    const BlockId done = b.newBlock();
+
+    const RegId zero = b.freshReg();
+    const RegId n = b.freshReg();
+    const RegId i = b.freshReg();
+    const RegId lines = b.freshReg();
+    const RegId words = b.freshReg();
+    const RegId chars = b.freshReg();
+    const RegId inword = b.freshReg();
+
+    b.setBlock(entry);
+    b.ldiTo(zero, 0);
+    b.ldTo(n, zero, 0);
+    b.ldiTo(i, 0);
+    b.ldiTo(lines, 0);
+    b.ldiTo(words, 0);
+    b.ldiTo(chars, 0);
+    b.ldiTo(inword, 0);
+    {
+        const RegId c = b.alu(Opcode::CmpLt, i, n);
+        b.brnz(c, loop, done);
+    }
+
+    const RegId ch = b.freshReg();
+    b.setBlock(loop);
+    {
+        const RegId addr = b.addi(i, 1);
+        b.ldTo(ch, addr, 0);
+        const RegId is_space = b.cmpEqi(ch, ' ');
+        const RegId is_nl = b.cmpEqi(ch, '\n');
+        const RegId sp = b.alu(Opcode::Or, is_space, is_nl);
+        b.brnz(sp, space, nonspace);
+    }
+
+    b.setBlock(nonspace);
+    b.brnz(inword, cont, newword);
+
+    b.setBlock(newword);
+    b.aluiTo(Opcode::Add, words, words, 1);
+    b.ldiTo(inword, 1);
+    b.jmp(cont);
+
+    b.setBlock(space);
+    {
+        b.ldiTo(inword, 0);
+        const RegId is_nl = b.cmpEqi(ch, '\n');
+        b.aluTo(Opcode::Add, lines, lines, is_nl);
+        b.jmp(cont);
+    }
+
+    b.setBlock(cont);
+    {
+        b.aluiTo(Opcode::Add, chars, chars, 1);
+        b.aluiTo(Opcode::Add, i, i, 1);
+        const RegId c = b.alu(Opcode::CmpLt, i, n);
+        b.brnz(c, loop, done);
+    }
+
+    b.setBlock(done);
+    {
+        b.emitValue(lines);
+        b.emitValue(words);
+        b.emitValue(chars);
+        const RegId t = b.add(lines, words);
+        const RegId r = b.add(t, chars);
+        b.ret(r);
+    }
+
+    w.program.mainProc = main;
+
+    auto pack = [](const std::vector<int64_t> &text) {
+        std::vector<int64_t> mem;
+        mem.reserve(text.size() + 1);
+        mem.push_back(int64_t(text.size()));
+        mem.insert(mem.end(), text.begin(), text.end());
+        return mem;
+    };
+    w.train.memImage = pack(makeText(0x5eed0001, 50000));
+    w.test.memImage = pack(makeText(0x5eed0002, 80000));
+    w.program.memWords = 1 + 80000 + 8;
+    return w;
+}
+
+} // namespace pathsched::workloads

@@ -1,0 +1,925 @@
+/**
+ * @file
+ * SPEC-like kernel workloads: com(press), eqn(tott), esp(resso),
+ * ijpeg and vortex.
+ *
+ * Each kernel reproduces the control-flow character the paper's
+ * discussion attributes to the original benchmark:
+ *  - compress: execution dominated by a couple of loops (an LZ-style
+ *    scan with a match-extension inner loop);
+ *  - eqntott: a very frequent branch guarding a tiny block inside a
+ *    hot inner loop, where unrolling matters most (§4, Fig. 6);
+ *  - espresso: nested loops over bit matrices with moderately
+ *    predictable data-dependent branches;
+ *  - ijpeg: loop-dominated straight-line DCT-like arithmetic over 8x8
+ *    blocks;
+ *  - vortex: call-heavy record/database operations with highly
+ *    predictable branches.
+ */
+
+#include "workloads/workloads.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+#include "workloads/textutil.hpp"
+
+namespace pathsched::workloads {
+
+using ir::BlockId;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::ProcId;
+using ir::RegId;
+
+Workload
+makeCompress()
+{
+    Workload w;
+    w.name = "com";
+    w.description = "Lempel-Ziv style compression kernel";
+    w.group = "SPECint92";
+
+    // Memory: [0] = n, data at kData.., hash table of 1024 slots at
+    // kHash (slot holds position+1; 0 means empty).
+    constexpr int64_t kData = 16;
+    constexpr int64_t kMaxData = 90000;
+    constexpr int64_t kHash = kData + kMaxData;
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+    const BlockId entry = b.currentBlock();
+    const BlockId head = b.newBlock();
+    const BlockId probe = b.newBlock();
+    const BlockId check = b.newBlock();
+    const BlockId match = b.newBlock();
+    const BlockId ext_check = b.newBlock();
+    const BlockId ext_len = b.newBlock();
+    const BlockId ext_body = b.newBlock();
+    const BlockId ext_inc = b.newBlock();
+    const BlockId emit_match = b.newBlock();
+    const BlockId literal = b.newBlock();
+    const BlockId done = b.newBlock();
+
+    const RegId zero = b.freshReg();
+    const RegId n = b.freshReg();
+    const RegId i = b.freshReg();
+    const RegId acc = b.freshReg();
+    const RegId nmatch = b.freshReg();
+    const RegId c0 = b.freshReg();
+    const RegId c1 = b.freshReg();
+    const RegId cand = b.freshReg();
+    const RegId j = b.freshReg();
+    const RegId len = b.freshReg();
+
+    b.setBlock(entry);
+    b.ldiTo(zero, 0);
+    b.ldTo(n, zero, 0);
+    b.aluiTo(Opcode::Sub, n, n, 1); // scan needs pairs (c[i], c[i+1])
+    b.ldiTo(i, 0);
+    b.ldiTo(acc, 0);
+    b.ldiTo(nmatch, 0);
+    b.jmp(head);
+
+    b.setBlock(head);
+    {
+        const RegId c = b.alu(Opcode::CmpLt, i, n);
+        b.brnz(c, probe, done);
+    }
+
+    b.setBlock(probe);
+    {
+        const RegId a0 = b.addi(i, kData);
+        b.ldTo(c0, a0, 0);
+        b.ldTo(c1, a0, 1);
+        const RegId t = b.muli(c0, 31);
+        const RegId t2 = b.add(t, c1);
+        const RegId h = b.alui(Opcode::And, t2, 1023);
+        const RegId ha = b.addi(h, kHash);
+        b.ldTo(cand, ha, 0);
+        const RegId ip1 = b.addi(i, 1);
+        b.st(ha, 0, ip1);
+        b.brnz(cand, check, literal);
+    }
+
+    b.setBlock(check);
+    {
+        b.aluiTo(Opcode::Sub, j, cand, 1);
+        const RegId aj = b.addi(j, kData);
+        const RegId m0 = b.ld(aj, 0);
+        const RegId m1 = b.ld(aj, 1);
+        const RegId e0 = b.cmpEq(m0, c0);
+        const RegId e1 = b.cmpEq(m1, c1);
+        const RegId e = b.alu(Opcode::And, e0, e1);
+        b.brnz(e, match, literal);
+    }
+
+    b.setBlock(match);
+    b.ldiTo(len, 2);
+    b.jmp(ext_check);
+
+    b.setBlock(ext_check);
+    {
+        const RegId t = b.add(i, len);
+        const RegId c = b.alu(Opcode::CmpLt, t, n);
+        b.brnz(c, ext_len, emit_match);
+    }
+
+    b.setBlock(ext_len);
+    {
+        const RegId c = b.cmpLti(len, 12);
+        b.brnz(c, ext_body, emit_match);
+    }
+
+    b.setBlock(ext_body);
+    {
+        const RegId ti = b.add(i, len);
+        const RegId tj = b.add(j, len);
+        const RegId ai = b.addi(ti, kData);
+        const RegId aj = b.addi(tj, kData);
+        const RegId x = b.ld(ai, 0);
+        const RegId y = b.ld(aj, 0);
+        const RegId e = b.cmpEq(x, y);
+        b.brnz(e, ext_inc, emit_match);
+    }
+
+    b.setBlock(ext_inc);
+    {
+        b.aluiTo(Opcode::Add, len, len, 1);
+        b.jmp(ext_check);
+    }
+
+    b.setBlock(emit_match);
+    {
+        const RegId t = b.muli(len, 7);
+        b.aluTo(Opcode::Add, acc, acc, t);
+        b.aluTo(Opcode::Xor, acc, acc, j);
+        b.aluiTo(Opcode::Add, nmatch, nmatch, 1);
+        b.aluTo(Opcode::Add, i, i, len);
+        b.jmp(head);
+    }
+
+    b.setBlock(literal);
+    {
+        const RegId t = b.muli(acc, 3);
+        const RegId t2 = b.add(t, c0);
+        const RegId m = b.alui(Opcode::And, t2, 0xffffff);
+        b.movTo(acc, m);
+        b.aluiTo(Opcode::Add, i, i, 1);
+        b.jmp(head);
+    }
+
+    b.setBlock(done);
+    b.emitValue(acc);
+    b.emitValue(nmatch);
+    b.ret(acc);
+
+    w.program.mainProc = main;
+    w.program.memWords = kHash + 1024;
+
+    auto pack = [](const std::vector<int64_t> &data) {
+        std::vector<int64_t> mem(16, 0);
+        mem[0] = int64_t(data.size());
+        mem.insert(mem.end(), data.begin(), data.end());
+        return mem;
+    };
+    w.train.memImage = pack(makeCompressibleData(0xc0de0001, 40000));
+    w.test.memImage = pack(makeCompressibleData(0xc0de0002, 65000));
+    return w;
+}
+
+Workload
+makeEqntott()
+{
+    Workload w;
+    w.name = "eqn";
+    w.description = "Bit-vector comparison with a tiny guarded block";
+    w.group = "SPECint92";
+
+    // Memory: [0] = pair count P; vector pairs from kVecs: pair p
+    // occupies 2*kLen words (A then B).
+    constexpr int64_t kLen = 24;
+    constexpr int64_t kVecs = 16;
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+    const BlockId entry = b.currentBlock();
+    const BlockId outer = b.newBlock();
+    const BlockId pair_start = b.newBlock();
+    const BlockId inner = b.newBlock();
+    const BlockId differ = b.newBlock(); // the tiny guarded block
+    const BlockId next_j = b.newBlock();
+    const BlockId outer_latch = b.newBlock();
+    const BlockId done = b.newBlock();
+
+    const RegId zero = b.freshReg();
+    const RegId npairs = b.freshReg();
+    const RegId p = b.freshReg();
+    const RegId acc = b.freshReg();
+    const RegId base = b.freshReg();
+    const RegId jj = b.freshReg();
+    const RegId verdict = b.freshReg();
+
+    b.setBlock(entry);
+    b.ldiTo(zero, 0);
+    b.ldTo(npairs, zero, 0);
+    b.ldiTo(p, 0);
+    b.ldiTo(acc, 0);
+    b.jmp(outer);
+
+    b.setBlock(outer);
+    {
+        const RegId c = b.alu(Opcode::CmpLt, p, npairs);
+        b.brnz(c, pair_start, done);
+    }
+
+    b.setBlock(pair_start);
+    {
+        const RegId t = b.muli(p, 2 * kLen);
+        b.aluiTo(Opcode::Add, base, t, kVecs);
+        b.ldiTo(jj, 0);
+        b.ldiTo(verdict, 0);
+        b.jmp(inner);
+    }
+
+    b.setBlock(inner);
+    {
+        // The hot path: words equal, continue with the next word.
+        // `differ` is the paper's "very small block guarded by a very
+        // high-frequency branch" — taken at most once per pair.
+        const RegId addr_a = b.add(base, jj);
+        const RegId a = b.ld(addr_a, 0);
+        const RegId bv = b.ld(addr_a, kLen);
+        const RegId ne = b.alu(Opcode::CmpNe, a, bv);
+        b.brnz(ne, differ, next_j);
+    }
+
+    b.setBlock(differ);
+    {
+        const RegId addr_a = b.add(base, jj);
+        const RegId a = b.ld(addr_a, 0);
+        const RegId bv = b.ld(addr_a, kLen);
+        const RegId lt = b.alu(Opcode::CmpLt, a, bv);
+        const RegId t = b.muli(lt, 2);
+        b.aluiTo(Opcode::Sub, verdict, t, 1); // -1 or +1
+        b.jmp(outer_latch);
+    }
+
+    b.setBlock(next_j);
+    {
+        b.aluiTo(Opcode::Add, jj, jj, 1);
+        const RegId c = b.cmpLti(jj, kLen);
+        b.brnz(c, inner, outer_latch);
+    }
+
+    b.setBlock(outer_latch);
+    {
+        const RegId t = b.muli(acc, 5);
+        const RegId t2 = b.add(t, verdict);
+        const RegId m = b.alui(Opcode::And, t2, 0xfffffff);
+        b.movTo(acc, m);
+        b.aluiTo(Opcode::Add, p, p, 1);
+        b.jmp(outer);
+    }
+
+    b.setBlock(done);
+    b.emitValue(acc);
+    b.ret(acc);
+
+    w.program.mainProc = main;
+
+    auto makePairs = [&](uint64_t seed, int64_t pairs) {
+        Rng rng(seed);
+        std::vector<int64_t> mem(size_t(kVecs + pairs * 2 * kLen), 0);
+        mem[0] = pairs;
+        for (int64_t q = 0; q < pairs; ++q) {
+            const size_t a0 = size_t(kVecs + q * 2 * kLen);
+            for (int64_t k = 0; k < kLen; ++k) {
+                const int64_t v = int64_t(rng.below(1 << 16));
+                mem[a0 + size_t(k)] = v;
+                mem[a0 + size_t(kLen + k)] = v; // B starts equal to A
+            }
+            // ~85% of pairs differ, always in the last few words, so
+            // the inner loop usually runs nearly to completion.
+            if (rng.chance(0.85)) {
+                const size_t at = size_t(kLen - 1 - int64_t(rng.below(3)));
+                mem[a0 + size_t(kLen) + at] ^= 1 + int64_t(rng.below(7));
+            }
+        }
+        return mem;
+    };
+    w.train.memImage = makePairs(0xe9000001, 1500);
+    w.test.memImage = makePairs(0xe9000002, 2400);
+    w.program.memWords = uint64_t(kVecs + 2400 * 2 * kLen + 8);
+    return w;
+}
+
+Workload
+makeEspresso()
+{
+    Workload w;
+    w.name = "esp";
+    w.description = "Cube intersection over bit matrices";
+    w.group = "SPECint92";
+
+    // Memory: [0] = repeat count, [1] = rows; matrix of rows x kCols
+    // words from kMat.
+    constexpr int64_t kCols = 8;
+    constexpr int64_t kMat = 16;
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+    const BlockId entry = b.currentBlock();
+    const BlockId rep_head = b.newBlock();
+    const BlockId r1_head = b.newBlock();
+    const BlockId r2_head = b.newBlock();
+    const BlockId col_head = b.newBlock();
+    const BlockId col_body = b.newBlock();
+    const BlockId hit = b.newBlock();
+    const BlockId miss = b.newBlock();
+    const BlockId col_latch = b.newBlock();
+    const BlockId r2_latch = b.newBlock();
+    const BlockId r1_latch = b.newBlock();
+    const BlockId rep_latch = b.newBlock();
+    const BlockId done = b.newBlock();
+
+    const RegId zero = b.freshReg();
+    const RegId reps = b.freshReg();
+    const RegId rows = b.freshReg();
+    const RegId rep = b.freshReg();
+    const RegId r1 = b.freshReg();
+    const RegId r2 = b.freshReg();
+    const RegId col = b.freshReg();
+    const RegId weight = b.freshReg();
+    const RegId empties = b.freshReg();
+    const RegId a1 = b.freshReg();
+    const RegId a2 = b.freshReg();
+
+    b.setBlock(entry);
+    b.ldiTo(zero, 0);
+    b.ldTo(reps, zero, 0);
+    b.ldTo(rows, zero, 1);
+    b.ldiTo(rep, 0);
+    b.ldiTo(weight, 0);
+    b.ldiTo(empties, 0);
+    b.jmp(rep_head);
+
+    b.setBlock(rep_head);
+    {
+        const RegId c = b.alu(Opcode::CmpLt, rep, reps);
+        b.brnz(c, r1_head, done);
+    }
+
+    b.setBlock(r1_head);
+    b.ldiTo(r1, 0);
+    b.jmp(r2_head);
+
+    b.setBlock(r2_head);
+    {
+        b.aluiTo(Opcode::Add, r2, r1, 1);
+        const RegId t1 = b.muli(r1, kCols);
+        b.aluiTo(Opcode::Add, a1, t1, kMat);
+        const RegId c = b.alu(Opcode::CmpLt, r2, rows);
+        b.brnz(c, col_head, r1_latch);
+    }
+
+    b.setBlock(col_head);
+    {
+        const RegId t2 = b.muli(r2, kCols);
+        b.aluiTo(Opcode::Add, a2, t2, kMat);
+        b.ldiTo(col, 0);
+        b.jmp(col_body);
+    }
+
+    b.setBlock(col_body);
+    {
+        const RegId p1 = b.add(a1, col);
+        const RegId p2 = b.add(a2, col);
+        const RegId x = b.ld(p1, 0);
+        const RegId y = b.ld(p2, 0);
+        const RegId t = b.alu(Opcode::And, x, y);
+        b.brnz(t, hit, miss);
+    }
+
+    b.setBlock(hit);
+    {
+        const RegId p1 = b.add(a1, col);
+        const RegId x = b.ld(p1, 0);
+        const RegId low = b.alui(Opcode::And, x, 7);
+        b.aluTo(Opcode::Add, weight, weight, low);
+        b.jmp(col_latch);
+    }
+
+    b.setBlock(miss);
+    b.aluiTo(Opcode::Add, empties, empties, 1);
+    b.jmp(col_latch);
+
+    b.setBlock(col_latch);
+    {
+        b.aluiTo(Opcode::Add, col, col, 1);
+        const RegId c = b.cmpLti(col, kCols);
+        b.brnz(c, col_body, r2_latch);
+    }
+
+    b.setBlock(r2_latch);
+    {
+        b.aluiTo(Opcode::Add, r2, r2, 1);
+        const RegId c = b.alu(Opcode::CmpLt, r2, rows);
+        b.brnz(c, col_head, r1_latch);
+    }
+
+    b.setBlock(r1_latch);
+    {
+        b.aluiTo(Opcode::Add, r1, r1, 1);
+        const RegId lim = b.alui(Opcode::Sub, rows, 1);
+        const RegId c = b.alu(Opcode::CmpLt, r1, lim);
+        b.brnz(c, r2_head, rep_latch);
+    }
+
+    b.setBlock(rep_latch);
+    b.aluiTo(Opcode::Add, rep, rep, 1);
+    b.jmp(rep_head);
+
+    b.setBlock(done);
+    b.emitValue(weight);
+    b.emitValue(empties);
+    {
+        const RegId r = b.add(weight, empties);
+        b.ret(r);
+    }
+
+    w.program.mainProc = main;
+
+    auto makeMatrix = [&](uint64_t seed, int64_t reps_v, int64_t rows_v) {
+        Rng rng(seed);
+        std::vector<int64_t> mem(size_t(kMat + rows_v * kCols), 0);
+        mem[0] = reps_v;
+        mem[1] = rows_v;
+        for (size_t k = size_t(kMat); k < mem.size(); ++k) {
+            // ~45% zero words so the hit/miss branch stays data
+            // dependent but biased.
+            mem[k] = rng.chance(0.45) ? 0 : int64_t(rng.below(256));
+        }
+        return mem;
+    };
+    w.train.memImage = makeMatrix(0xe5b0001, 35, 24);
+    w.test.memImage = makeMatrix(0xe5b0002, 45, 26);
+    w.program.memWords = uint64_t(kMat + 26 * kCols + 8);
+    return w;
+}
+
+Workload
+makeIjpeg()
+{
+    Workload w;
+    w.name = "ijpeg";
+    w.description = "DCT-like transform and quantization of 8x8 blocks";
+    w.group = "SPECint95";
+
+    // Memory: [0] = number of 8x8 blocks; samples from kPix, 64 words
+    // per block.
+    constexpr int64_t kPix = 16;
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+    const BlockId entry = b.currentBlock();
+    const BlockId blk_head = b.newBlock();
+    const BlockId row_body = b.newBlock();
+    const BlockId quant_head = b.newBlock();
+    const BlockId quant_body = b.newBlock();
+    const BlockId quant_small = b.newBlock();
+    const BlockId quant_big = b.newBlock();
+    const BlockId quant_latch = b.newBlock();
+    const BlockId advance = b.newBlock();
+    const BlockId done = b.newBlock();
+
+    const RegId zero = b.freshReg();
+    const RegId nblocks = b.freshReg();
+    const RegId blk = b.freshReg();
+    const RegId row = b.freshReg();
+    const RegId q = b.freshReg();
+    const RegId acc = b.freshReg();
+    const RegId nbig = b.freshReg();
+    const RegId base = b.freshReg();
+
+    b.setBlock(entry);
+    b.ldiTo(zero, 0);
+    b.ldTo(nblocks, zero, 0);
+    b.ldiTo(blk, 0);
+    b.ldiTo(acc, 0);
+    b.ldiTo(nbig, 0);
+    b.jmp(blk_head);
+
+    b.setBlock(blk_head);
+    {
+        const RegId t = b.muli(blk, 64);
+        b.aluiTo(Opcode::Add, base, t, kPix);
+        b.ldiTo(row, 0);
+        const RegId c = b.alu(Opcode::CmpLt, blk, nblocks);
+        b.brnz(c, row_body, done);
+    }
+
+    // One straight-line 8-point butterfly per row: a big basic block of
+    // mostly independent arithmetic — the ILP-rich, predictable inner
+    // loop that makes ijpeg love wide issue.
+    b.setBlock(row_body);
+    {
+        const RegId roff = b.muli(row, 8);
+        const RegId ra = b.add(base, roff);
+        const RegId x0 = b.ld(ra, 0);
+        const RegId x1 = b.ld(ra, 1);
+        const RegId x2 = b.ld(ra, 2);
+        const RegId x3 = b.ld(ra, 3);
+        const RegId x4 = b.ld(ra, 4);
+        const RegId x5 = b.ld(ra, 5);
+        const RegId x6 = b.ld(ra, 6);
+        const RegId x7 = b.ld(ra, 7);
+        const RegId s07 = b.add(x0, x7);
+        const RegId d07 = b.sub(x0, x7);
+        const RegId s16 = b.add(x1, x6);
+        const RegId d16 = b.sub(x1, x6);
+        const RegId s25 = b.add(x2, x5);
+        const RegId d25 = b.sub(x2, x5);
+        const RegId s34 = b.add(x3, x4);
+        const RegId d34 = b.sub(x3, x4);
+        const RegId e0 = b.add(s07, s34);
+        const RegId e1 = b.add(s16, s25);
+        const RegId e2 = b.sub(s07, s34);
+        const RegId e3 = b.sub(s16, s25);
+        const RegId o0 = b.muli(d07, 3);
+        const RegId o1 = b.muli(d16, 5);
+        const RegId o2 = b.muli(d25, 7);
+        const RegId o3 = b.muli(d34, 9);
+        const RegId f0 = b.add(e0, e1);
+        const RegId f1 = b.sub(e0, e1);
+        const RegId f2 = b.add(e2, e3);
+        const RegId g0 = b.add(o0, o1);
+        const RegId g1 = b.add(o2, o3);
+        const RegId h0 = b.add(f0, g0);
+        const RegId h1 = b.add(f1, g1);
+        const RegId h2 = b.add(f2, h0);
+        b.st(ra, 0, h0);
+        b.st(ra, 1, h1);
+        b.st(ra, 2, h2);
+        const RegId t1 = b.alui(Opcode::And, h2, 0xffff);
+        b.aluTo(Opcode::Add, acc, acc, t1);
+        b.aluiTo(Opcode::Add, row, row, 1);
+        const RegId c = b.cmpLti(row, 8);
+        b.brnz(c, row_body, quant_head);
+    }
+
+    b.setBlock(quant_head);
+    b.ldiTo(q, 0);
+    b.jmp(quant_body);
+
+    // Quantization: biased magnitude test (most coefficients small).
+    b.setBlock(quant_body);
+    {
+        const RegId qa = b.add(base, q);
+        const RegId v = b.ld(qa, 0);
+        const RegId m = b.alui(Opcode::And, v, 0x3ff);
+        const RegId big = b.alui(Opcode::CmpGt, m, 900);
+        b.brnz(big, quant_big, quant_small);
+    }
+
+    b.setBlock(quant_small);
+    {
+        const RegId qa = b.add(base, q);
+        const RegId v = b.ld(qa, 0);
+        const RegId t = b.alui(Opcode::Shr, v, 3);
+        b.aluTo(Opcode::Xor, acc, acc, t);
+        b.jmp(quant_latch);
+    }
+
+    b.setBlock(quant_big);
+    {
+        b.aluiTo(Opcode::Add, nbig, nbig, 1);
+        const RegId t = b.muli(acc, 3);
+        const RegId m = b.alui(Opcode::And, t, 0xffffff);
+        b.movTo(acc, m);
+        b.jmp(quant_latch);
+    }
+
+    b.setBlock(quant_latch);
+    {
+        b.aluiTo(Opcode::Add, q, q, 1);
+        const RegId more_q = b.cmpLti(q, 64);
+        b.brnz(more_q, quant_body, advance);
+    }
+
+    b.setBlock(advance);
+    b.aluiTo(Opcode::Add, blk, blk, 1);
+    b.jmp(blk_head);
+
+    b.setBlock(done);
+    b.emitValue(acc);
+    b.emitValue(nbig);
+    b.ret(acc);
+
+    w.program.mainProc = main;
+
+    auto makeBlocks = [&](uint64_t seed, int64_t blocks) {
+        Rng rng(seed);
+        std::vector<int64_t> mem(size_t(kPix + blocks * 64), 0);
+        mem[0] = blocks;
+        for (size_t k = size_t(kPix); k < mem.size(); ++k)
+            mem[k] = int64_t(rng.below(256)) - 128;
+        return mem;
+    };
+    w.train.memImage = makeBlocks(0x1b3c0001, 500);
+    w.test.memImage = makeBlocks(0x1b3c0002, 800);
+    w.program.memWords = uint64_t(kPix + 800 * 64 + 8);
+    return w;
+}
+
+Workload
+makeVortex()
+{
+    Workload w;
+    w.name = "vortex";
+    w.description = "Record database: insert, lookup, validate";
+    w.group = "SPECint95";
+
+    // Memory: [0] = operation count; op words from kOps; record store
+    // from kRecs (8 words per record); hash index of 512 buckets with
+    // one size word plus 4 chain slots each, from kIndex.
+    constexpr int64_t kOps = 16;
+    constexpr int64_t kMaxOps = 30000;
+    constexpr int64_t kRecs = kOps + kMaxOps;
+    constexpr int64_t kMaxRecs = 20000;
+    constexpr int64_t kIndex = kRecs + kMaxRecs * 8;
+    constexpr int64_t kBuckets = 512;
+
+    IrBuilder b(w.program);
+    const ProcId main = b.newProc("main", 0);
+    const ProcId insert = b.newProc("insert", 2);     // (key, recno)
+    const ProcId lookup = b.newProc("lookup", 1);     // key -> recno+1|0
+    const ProcId validate = b.newProc("validate", 1); // recno -> 0/1
+
+    // --- insert(key, recno): store a record, link into the index ---
+    {
+        b.setProc(insert);
+        const BlockId ientry = 0;
+        const BlockId store = b.newBlock();
+        const BlockId full = b.newBlock();
+
+        const RegId key = b.param(0);
+        const RegId rec = b.param(1);
+        const RegId slot = b.freshReg();
+
+        b.setBlock(ientry);
+        {
+            const RegId t = b.muli(rec, 8);
+            const RegId ra = b.addi(t, kRecs);
+            b.st(ra, 0, key);
+            const RegId f1 = b.muli(key, 3);
+            b.st(ra, 1, f1);
+            const RegId f2 = b.alui(Opcode::Xor, key, 0x5a5a);
+            b.st(ra, 2, f2);
+            const RegId f3 = b.add(f1, f2);
+            b.st(ra, 3, f3);
+            b.st(ra, 4, key);
+            const RegId h = b.alui(Opcode::And, key, kBuckets - 1);
+            const RegId ba = b.muli(h, 5);
+            b.aluiTo(Opcode::Add, slot, ba, kIndex);
+            const RegId used = b.ld(slot, 0);
+            const RegId c = b.cmpLti(used, 4);
+            b.brnz(c, store, full);
+        }
+
+        b.setBlock(store);
+        {
+            const RegId used = b.ld(slot, 0);
+            const RegId sa = b.add(slot, used);
+            const RegId rp1 = b.addi(rec, 1);
+            b.st(sa, 1, rp1);
+            const RegId up1 = b.addi(used, 1);
+            b.st(slot, 0, up1);
+            b.ret(rec);
+        }
+
+        b.setBlock(full);
+        {
+            // Overwrite the first chain slot (bounded chains keep
+            // lookups short and predictable).
+            const RegId rp1 = b.addi(rec, 1);
+            b.st(slot, 1, rp1);
+            b.ret(rec);
+        }
+    }
+
+    // --- lookup(key): probe the bucket chain ---
+    {
+        b.setProc(lookup);
+        const BlockId lentry = 0;
+        const BlockId probe = b.newBlock();
+        const BlockId compare = b.newBlock();
+        const BlockId found = b.newBlock();
+        const BlockId next = b.newBlock();
+        const BlockId missing = b.newBlock();
+
+        const RegId key = b.param(0);
+        const RegId slot = b.freshReg();
+        const RegId k = b.freshReg();
+        const RegId recno = b.freshReg();
+
+        b.setBlock(lentry);
+        {
+            const RegId h = b.alui(Opcode::And, key, kBuckets - 1);
+            const RegId ba = b.muli(h, 5);
+            b.aluiTo(Opcode::Add, slot, ba, kIndex);
+            b.ldiTo(k, 0);
+            b.jmp(probe);
+        }
+
+        b.setBlock(probe);
+        {
+            const RegId used = b.ld(slot, 0);
+            const RegId c = b.alu(Opcode::CmpLt, k, used);
+            b.brnz(c, compare, missing);
+        }
+
+        b.setBlock(compare);
+        {
+            const RegId sa = b.add(slot, k);
+            const RegId rp1 = b.ld(sa, 1);
+            b.aluiTo(Opcode::Sub, recno, rp1, 1);
+            const RegId t = b.muli(recno, 8);
+            const RegId ra = b.addi(t, kRecs);
+            const RegId stored = b.ld(ra, 0);
+            const RegId e = b.cmpEq(stored, key);
+            b.brnz(e, found, next);
+        }
+
+        b.setBlock(found);
+        {
+            const RegId rp1 = b.addi(recno, 1);
+            b.ret(rp1);
+        }
+
+        b.setBlock(next);
+        b.aluiTo(Opcode::Add, k, k, 1);
+        b.jmp(probe);
+
+        b.setBlock(missing);
+        {
+            const RegId z = b.ldi(0);
+            b.ret(z);
+        }
+    }
+
+    // --- validate(recno): field consistency checks, almost always ok ---
+    {
+        b.setProc(validate);
+        const BlockId ventry = 0;
+        const BlockId chk2 = b.newBlock();
+        const BlockId ok = b.newBlock();
+        const BlockId bad = b.newBlock();
+
+        const RegId recno = b.param(0);
+
+        b.setBlock(ventry);
+        {
+            const RegId t = b.muli(recno, 8);
+            const RegId ra = b.addi(t, kRecs);
+            const RegId key = b.ld(ra, 0);
+            const RegId f1 = b.ld(ra, 1);
+            const RegId expect = b.muli(key, 3);
+            const RegId e = b.cmpEq(f1, expect);
+            b.brnz(e, chk2, bad);
+        }
+
+        b.setBlock(chk2);
+        {
+            const RegId t = b.muli(recno, 8);
+            const RegId ra = b.addi(t, kRecs);
+            const RegId key = b.ld(ra, 0);
+            const RegId f2 = b.ld(ra, 2);
+            const RegId expect = b.alui(Opcode::Xor, key, 0x5a5a);
+            const RegId e = b.cmpEq(f2, expect);
+            b.brnz(e, ok, bad);
+        }
+
+        b.setBlock(ok);
+        {
+            const RegId one = b.ldi(1);
+            b.ret(one);
+        }
+        b.setBlock(bad);
+        {
+            const RegId z = b.ldi(0);
+            b.ret(z);
+        }
+    }
+
+    // --- main: drive the operation stream ---
+    {
+        b.setProc(main);
+        const BlockId mentry = 0;
+        const BlockId head = b.newBlock();
+        const BlockId dispatch = b.newBlock();
+        const BlockId do_insert = b.newBlock();
+        const BlockId look_or_val = b.newBlock();
+        const BlockId do_lookup = b.newBlock();
+        const BlockId do_validate = b.newBlock();
+        const BlockId have_rec = b.newBlock();
+        const BlockId latch = b.newBlock();
+        const BlockId done = b.newBlock();
+
+        const RegId zero = b.freshReg();
+        const RegId nops = b.freshReg();
+        const RegId i = b.freshReg();
+        const RegId acc = b.freshReg();
+        const RegId inserted = b.freshReg();
+        const RegId key = b.freshReg();
+        const RegId kind = b.freshReg();
+
+        b.setBlock(mentry);
+        b.ldiTo(zero, 0);
+        b.ldTo(nops, zero, 0);
+        b.ldiTo(i, 0);
+        b.ldiTo(acc, 0);
+        b.ldiTo(inserted, 0);
+        b.jmp(head);
+
+        b.setBlock(head);
+        {
+            const RegId c = b.alu(Opcode::CmpLt, i, nops);
+            b.brnz(c, dispatch, done);
+        }
+
+        b.setBlock(dispatch);
+        {
+            const RegId oa = b.addi(i, kOps);
+            const RegId op = b.ld(oa, 0);
+            b.aluiTo(Opcode::And, key, op, 0xffff);
+            b.aluiTo(Opcode::Shr, kind, op, 16); // kind bucket 0..9
+            const RegId is_ins = b.cmpLti(kind, 5);
+            b.brnz(is_ins, do_insert, look_or_val);
+        }
+
+        b.setBlock(do_insert);
+        {
+            const RegId rec = b.callValue(insert, {key, inserted});
+            b.aluiTo(Opcode::Add, inserted, inserted, 1);
+            b.aluTo(Opcode::Xor, acc, acc, rec);
+            b.jmp(latch);
+        }
+
+        b.setBlock(look_or_val);
+        {
+            const RegId is_look = b.cmpLti(kind, 9);
+            b.brnz(is_look, do_lookup, do_validate);
+        }
+
+        b.setBlock(do_lookup);
+        {
+            const RegId r = b.callValue(lookup, {key});
+            b.aluTo(Opcode::Add, acc, acc, r);
+            b.jmp(latch);
+        }
+
+        b.setBlock(do_validate);
+        {
+            const RegId r = b.callValue(lookup, {key});
+            b.brnz(r, have_rec, latch);
+        }
+
+        b.setBlock(have_rec);
+        {
+            const RegId r = b.callValue(lookup, {key});
+            const RegId recno = b.alui(Opcode::Sub, r, 1);
+            const RegId v = b.callValue(validate, {recno});
+            b.aluTo(Opcode::Add, acc, acc, v);
+            b.jmp(latch);
+        }
+
+        b.setBlock(latch);
+        b.aluiTo(Opcode::Add, i, i, 1);
+        b.jmp(head);
+
+        b.setBlock(done);
+        b.emitValue(acc);
+        b.emitValue(inserted);
+        b.ret(acc);
+    }
+
+    w.program.mainProc = main;
+
+    auto makeOps = [&](uint64_t seed, int64_t count) {
+        Rng rng(seed);
+        std::vector<int64_t> mem(size_t(kOps + count), 0);
+        mem[0] = count;
+        for (int64_t k = 0; k < count; ++k) {
+            const int64_t kind = int64_t(rng.below(10));
+            const int64_t key = int64_t(rng.below(4096));
+            mem[size_t(kOps + k)] = (kind << 16) | key;
+        }
+        return mem;
+    };
+    w.train.memImage = makeOps(0x7c0de001, 12000);
+    w.test.memImage = makeOps(0x7c0de002, 20000);
+    w.program.memWords = uint64_t(kIndex + kBuckets * 5 + 8);
+    return w;
+}
+
+} // namespace pathsched::workloads

@@ -1,0 +1,72 @@
+#include "workloads/textutil.hpp"
+
+#include "support/rng.hpp"
+
+namespace pathsched::workloads {
+
+std::vector<int64_t>
+makeText(uint64_t seed, size_t nchars)
+{
+    Rng rng(seed);
+    std::vector<int64_t> text;
+    text.reserve(nchars);
+    size_t words_on_line = 0;
+    while (text.size() < nchars) {
+        const size_t len = size_t(rng.range(1, 9));
+        for (size_t i = 0; i < len && text.size() < nchars; ++i)
+            text.push_back(int64_t('a' + rng.below(26)));
+        if (text.size() >= nchars)
+            break;
+        if (++words_on_line >= 12) {
+            text.push_back('\n');
+            words_on_line = 0;
+        } else {
+            text.push_back(' ');
+        }
+    }
+    return text;
+}
+
+std::vector<int64_t>
+makeCompressibleData(uint64_t seed, size_t nbytes)
+{
+    Rng rng(seed);
+    // A small phrase dictionary: repeated phrases give an LZ matcher
+    // real back-references to find.
+    std::vector<std::vector<int64_t>> phrases;
+    for (int p = 0; p < 16; ++p) {
+        std::vector<int64_t> phrase;
+        const size_t len = size_t(rng.range(4, 24));
+        for (size_t i = 0; i < len; ++i)
+            phrase.push_back(int64_t(rng.below(64)));
+        phrases.push_back(std::move(phrase));
+    }
+    std::vector<int64_t> data;
+    data.reserve(nbytes);
+    while (data.size() < nbytes) {
+        if (rng.chance(0.8)) {
+            const auto &phrase = phrases[rng.below(phrases.size())];
+            for (int64_t c : phrase) {
+                if (data.size() >= nbytes)
+                    break;
+                data.push_back(c);
+            }
+        } else {
+            data.push_back(int64_t(rng.below(256)));
+        }
+    }
+    return data;
+}
+
+std::vector<int64_t>
+makeRandomValues(uint64_t seed, size_t count, int64_t bound)
+{
+    Rng rng(seed);
+    std::vector<int64_t> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(rng.range(0, bound - 1));
+    return out;
+}
+
+} // namespace pathsched::workloads

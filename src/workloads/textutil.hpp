@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Deterministic input generators for the workload suite.
+ *
+ * Every generator is seeded, so train and test inputs differ (distinct
+ * seeds and sizes) yet each run of the repository sees identical data.
+ */
+
+#ifndef PATHSCHED_WORKLOADS_TEXTUTIL_HPP
+#define PATHSCHED_WORKLOADS_TEXTUTIL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pathsched::workloads {
+
+/**
+ * English-like text: lowercase words of 1-9 letters separated by
+ * spaces, a newline roughly every twelve words.  One character per
+ * memory word.
+ */
+std::vector<int64_t> makeText(uint64_t seed, size_t nchars);
+
+/**
+ * Compressible byte stream: phrases drawn from a small dictionary with
+ * occasional random noise, so an LZ-style matcher finds real matches.
+ */
+std::vector<int64_t> makeCompressibleData(uint64_t seed, size_t nbytes);
+
+/** Uniform pseudo-random values in [0, bound). */
+std::vector<int64_t> makeRandomValues(uint64_t seed, size_t count,
+                                      int64_t bound);
+
+} // namespace pathsched::workloads
+
+#endif // PATHSCHED_WORKLOADS_TEXTUTIL_HPP

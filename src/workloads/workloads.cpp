@@ -1,0 +1,58 @@
+#include "workloads/workloads.hpp"
+
+#include "support/logging.hpp"
+
+namespace pathsched::workloads {
+
+std::vector<std::string>
+benchmarkNames()
+{
+    // Table 1 order.
+    return {"alt", "ph", "corr", "wc", "com", "eqn", "esp",
+            "gcc", "go", "ijpeg", "li", "m88k", "perl", "vortex"};
+}
+
+Workload
+makeByName(const std::string &name)
+{
+    if (name == "alt")
+        return makeAlt();
+    if (name == "ph")
+        return makePh();
+    if (name == "corr")
+        return makeCorr();
+    if (name == "wc")
+        return makeWc();
+    if (name == "com")
+        return makeCompress();
+    if (name == "eqn")
+        return makeEqntott();
+    if (name == "esp")
+        return makeEspresso();
+    if (name == "gcc")
+        return makeGcc();
+    if (name == "go")
+        return makeGo();
+    if (name == "ijpeg")
+        return makeIjpeg();
+    if (name == "li")
+        return makeLi();
+    if (name == "m88k")
+        return makeM88ksim();
+    if (name == "perl")
+        return makePerl();
+    if (name == "vortex")
+        return makeVortex();
+    panic("unknown workload '%s'", name.c_str());
+}
+
+std::vector<Workload>
+standardBenchmarks()
+{
+    std::vector<Workload> out;
+    for (const auto &name : benchmarkNames())
+        out.push_back(makeByName(name));
+    return out;
+}
+
+} // namespace pathsched::workloads

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The benchmark suite (Table 1 of the paper).
+ *
+ * The paper evaluates three microbenchmarks (alt, ph, corr), wc, and
+ * ten SPECint92/95 programs.  SPEC sources and reference inputs are not
+ * redistributable, so each SPEC entry here is a hand-written IR kernel
+ * that reproduces the *control-flow character* the paper's discussion
+ * attributes to that benchmark (dominant-path loops, phased behaviour,
+ * branch correlation, low-iteration loops, call-heavy interpreters,
+ * ...).  DESIGN.md documents each substitution.  Every workload ships
+ * distinct train and test inputs, as in the paper ("we use different
+ * training and testing data sets").
+ */
+
+#ifndef PATHSCHED_WORKLOADS_WORKLOADS_HPP
+#define PATHSCHED_WORKLOADS_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "interp/interpreter.hpp"
+#include "ir/procedure.hpp"
+
+namespace pathsched::workloads {
+
+/** One benchmark: a program plus its train/test inputs. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    /** Paper group: "micro", "SPECint92" or "SPECint95". */
+    std::string group;
+    ir::Program program;
+    interp::ProgramInput train;
+    interp::ProgramInput test;
+};
+
+/** @name Individual workload builders
+ *  @{
+ */
+Workload makeAlt();      ///< TTTF-periodic conditional in a loop
+Workload makePh();       ///< phased conditional (TT..TFF..F)
+Workload makeCorr();     ///< correlated branches (Young & Smith)
+Workload makeWc();       ///< UNIX word count over synthetic text
+Workload makeCompress(); ///< LZ-style compression kernel
+Workload makeEqntott();  ///< correlated branch guarding a tiny block
+Workload makeEspresso(); ///< nested loops over bit matrices
+Workload makeGcc();      ///< many procedures, irregular branching
+Workload makeGo();       ///< low-iteration loops + frequent calls
+Workload makeIjpeg();    ///< loop-dominated DCT-like array kernels
+Workload makeLi();       ///< recursive expression interpreter
+Workload makeM88ksim();  ///< fetch/decode/execute simulator loop
+Workload makePerl();     ///< opcode-dispatch interpreter with hashing
+Workload makeVortex();   ///< record-oriented database operations
+/** @} */
+
+/** All 14 workloads in Table 1 order. */
+std::vector<Workload> standardBenchmarks();
+
+/** Build one workload by its Table 1 name; panics on unknown names. */
+Workload makeByName(const std::string &name);
+
+/** The Table 1 names in order. */
+std::vector<std::string> benchmarkNames();
+
+} // namespace pathsched::workloads
+
+#endif // PATHSCHED_WORKLOADS_WORKLOADS_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Death tests for the library's failure modes: out-of-range memory,
+ * runaway programs, and verifier panics.  These pin down the
+ * fatal/panic contract (fatal = user error, exit(1); panic = internal
+ * bug, abort) the support library documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "support/logging.hpp"
+
+namespace pathsched {
+namespace {
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Program;
+using ir::RegId;
+
+TEST(Diagnostics, LoadOutOfRangeIsFatal)
+{
+    Program prog;
+    prog.memWords = 4;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    const RegId base = b.ldi(0);
+    const RegId v = b.ld(base, 100); // out of range
+    b.ret(v);
+    interp::Interpreter interp(prog);
+    EXPECT_EXIT(interp.run({}), ::testing::ExitedWithCode(1),
+                "invalid address");
+}
+
+TEST(Diagnostics, StoreToNegativeAddressIsFatal)
+{
+    Program prog;
+    prog.memWords = 4;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    const RegId base = b.ldi(-10);
+    b.st(base, 0, base);
+    b.ret(ir::kNoReg);
+    interp::Interpreter interp(prog);
+    EXPECT_EXIT(interp.run({}), ::testing::ExitedWithCode(1),
+                "invalid address");
+}
+
+TEST(Diagnostics, RunawayLoopHitsStepCeiling)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    const auto loop = b.newBlock();
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.jmp(loop); // spins forever
+
+    interp::InterpOptions opts;
+    opts.maxSteps = 1000;
+    interp::Interpreter interp(prog, opts);
+    EXPECT_EXIT(interp.run({}), ::testing::ExitedWithCode(1),
+                "exceeded");
+}
+
+TEST(Diagnostics, VerifyOrDiePanicsOnBrokenProgram)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    b.ret(ir::kNoReg);
+    prog.proc(0).blocks[0].instrs[0].src1 = 999; // bad register
+    EXPECT_DEATH(ir::verifyOrDie(prog, ir::VerifyMode::Strict),
+                 "verification failed");
+}
+
+TEST(Diagnostics, FindProcPanicsOnUnknownName)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    b.ret(ir::kNoReg);
+    EXPECT_DEATH((void)prog.findProc("nope"), "no procedure");
+}
+
+TEST(Diagnostics, SpeculativeLoadNeverFaults)
+{
+    // The dual of LoadOutOfRangeIsFatal: the non-excepting form of
+    // the same access must succeed and produce 0 (§3.2's suppressed
+    // trap).
+    Program prog;
+    prog.memWords = 4;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    const RegId base = b.ldi(0);
+    const RegId v = b.ldSpec(base, 100);
+    b.ret(v);
+    interp::Interpreter interp(prog);
+    EXPECT_EQ(interp.run({}).returnValue, 0);
+}
+
+} // namespace
+} // namespace pathsched

@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Tests for the form pass: trace selection (edge and path), tail
+ * duplication / materialization invariants, classical and unified
+ * enlargement, unreachable-block cleanup, and differential semantics
+ * preservation on random programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "form/form.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "profile/edge_profile.hpp"
+#include "profile/path_profile.hpp"
+#include "testutil.hpp"
+
+namespace pstest = pathsched::testing;
+
+namespace pathsched::form {
+namespace {
+
+using ir::BlockId;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Program;
+using ir::RegId;
+
+/** Profile a program on @p input with both profilers. */
+struct Profiles
+{
+    explicit Profiles(const Program &prog) : edge(prog), path(prog, {}) {}
+
+    void
+    train(const Program &prog, const interp::ProgramInput &input)
+    {
+        interp::Interpreter interp(prog);
+        interp.addListener(&edge);
+        interp.addListener(&path);
+        interp.run(input);
+        path.finalize();
+    }
+
+    profile::EdgeProfiler edge;
+    profile::PathProfiler path;
+};
+
+/** alt-style periodic loop (Fig. 3's motivating example). */
+Program
+makeAltLoop()
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId head = b.newBlock();   // 1 ("A")
+    const BlockId left = b.newBlock();   // 2 ("B")
+    const BlockId right = b.newBlock();  // 3 ("C")
+    const BlockId latch = b.newBlock();  // 4 ("D")
+    const BlockId done = b.newBlock();   // 5
+    const RegId n = b.param(0);
+    const RegId i = b.freshReg();
+    const RegId acc = b.freshReg();
+    b.ldiTo(i, 0);
+    b.ldiTo(acc, 0);
+    b.jmp(head);
+    b.setBlock(head);
+    const RegId t = b.alui(Opcode::And, i, 3);
+    const RegId c = b.alui(Opcode::CmpNe, t, 3);
+    b.brnz(c, left, right);
+    b.setBlock(left);
+    b.aluTo(Opcode::Add, acc, acc, i);
+    b.jmp(latch);
+    b.setBlock(right);
+    b.aluiTo(Opcode::Xor, acc, acc, 5);
+    b.jmp(latch);
+    b.setBlock(latch);
+    b.aluiTo(Opcode::Add, i, i, 1);
+    const RegId more = b.alu(Opcode::CmpLt, i, n);
+    b.brnz(more, head, done);
+    b.setBlock(done);
+    b.emitValue(acc);
+    b.ret(acc);
+    return prog;
+}
+
+interp::ProgramInput
+altInput(int64_t n)
+{
+    interp::ProgramInput in;
+    in.mainArgs = {n};
+    return in;
+}
+
+TEST(FormEdge, SelectsDominantTraceAndUnrolls)
+{
+    Program prog = makeAltLoop();
+    Profiles prof(prog);
+    prof.train(prog, altInput(64));
+
+    FormConfig cfg;
+    cfg.mode = ProfileMode::Edge;
+    cfg.unrollFactor = 4;
+    const FormStats stats = formProgram(prog, &prof.edge, &prof.path,
+                                        cfg);
+    EXPECT_GE(stats.multiBlockTraces, 1u);
+    EXPECT_GE(stats.superblocksFormed, 1u);
+    EXPECT_GE(stats.enlargedSuperblocks, 1u);
+
+    // The loop superblock lives at the head block and is unrolled 4x:
+    // 3 trace blocks per iteration.
+    const auto &sb = prog.proc(0).superblocks[1];
+    ASSERT_TRUE(sb.isSuperblock);
+    EXPECT_EQ(sb.numSrcBlocks, 12u);
+    EXPECT_TRUE(sb.isLoop);
+}
+
+TEST(FormEdge, MutualMostLikelyBlocksNonMutualExtension)
+{
+    // X and Y both fall into J; J's most likely predecessor is X, so
+    // the hot trace takes J while Y survives as a side entrance.
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId head = b.newBlock(); // 1
+    const BlockId x = b.newBlock();    // 2
+    const BlockId y = b.newBlock();    // 3
+    const BlockId j = b.newBlock();    // 4
+    const BlockId done = b.newBlock(); // 5
+    const RegId n = b.param(0);
+    const RegId i = b.freshReg();
+    b.ldiTo(i, 0);
+    b.jmp(head);
+    b.setBlock(head);
+    const RegId c = b.alui(Opcode::And, i, 3); // nonzero 3 of 4
+    b.brnz(c, x, y);
+    b.setBlock(x);
+    b.jmp(j);
+    b.setBlock(y);
+    b.jmp(j);
+    b.setBlock(j);
+    b.aluiTo(Opcode::Add, i, i, 1);
+    const RegId more = b.alu(Opcode::CmpLt, i, n);
+    b.brnz(more, head, done);
+    b.setBlock(done);
+    b.ret(i);
+
+    Profiles prof(prog);
+    prof.train(prog, altInput(32));
+
+    FormConfig cfg;
+    cfg.mode = ProfileMode::Edge;
+    cfg.enlarge = false;
+    formProgram(prog, &prof.edge, &prof.path, cfg);
+    // Superblock [head, x, j] forms at the head block; y survives as a
+    // plain block still reaching the original j (tail duplicate).
+    const auto &p0 = prog.proc(0);
+    ASSERT_TRUE(p0.superblocks[head].isSuperblock);
+    EXPECT_EQ(p0.superblocks[head].numSrcBlocks, 3u);
+}
+
+TEST(FormPath, CapturesPeriodicPattern)
+{
+    Program prog = makeAltLoop();
+    Profiles prof(prog);
+    prof.train(prog, altInput(64));
+
+    FormConfig cfg;
+    cfg.mode = ProfileMode::Path;
+    cfg.maxLoopHeads = 4;
+    formProgram(prog, &prof.edge, &prof.path, cfg);
+
+    // Path-based enlargement follows the TTTF pattern through the
+    // loop: the superblock contains left-iterations AND the right
+    // iteration (Fig. 3(b)), unlike classical unrolling which only
+    // replicates the dominant body.
+    const auto &p0 = prog.proc(0);
+    const auto &sb = p0.superblocks[1];
+    ASSERT_TRUE(sb.isSuperblock);
+    // Count copies of the "right" block's signature instruction
+    // (xor-imm 5) inside the merged superblock.
+    int rights = 0, lefts = 0;
+    for (const auto &ins : p0.blocks[1].instrs) {
+        if (ins.op == Opcode::Xor && ins.useImm && ins.imm == 5)
+            ++rights;
+        if (ins.op == Opcode::Add && !ins.useImm)
+            ++lefts;
+    }
+    EXPECT_GE(rights, 1); // the pattern's F iteration is in the trace
+    EXPECT_GE(lefts, 3);  // ... after the three T iterations
+}
+
+TEST(FormPath, CompletionThresholdGatesEnlargement)
+{
+    Program prog = makeAltLoop();
+    Profiles prof(prog);
+    prof.train(prog, altInput(64));
+
+    FormConfig cfg;
+    cfg.mode = ProfileMode::Path;
+    cfg.completionThreshold = 1.01; // nothing completes this often
+    formProgram(prog, &prof.edge, &prof.path, cfg);
+    const auto &sb = prog.proc(0).superblocks[1];
+    ASSERT_TRUE(sb.isSuperblock);
+    EXPECT_EQ(sb.numSrcBlocks, 3u); // selection only, no enlargement
+}
+
+TEST(FormPath, MaxInstrsCapRespected)
+{
+    Program prog = makeAltLoop();
+    Profiles prof(prog);
+    prof.train(prog, altInput(64));
+
+    FormConfig cfg;
+    cfg.mode = ProfileMode::Path;
+    cfg.maxInstrs = 20;
+    cfg.maxLoopHeads = 100;
+    formProgram(prog, &prof.edge, &prof.path, cfg);
+    for (const auto &proc : prog.procs) {
+        for (BlockId b2 = 0; b2 < proc.blocks.size(); ++b2) {
+            if (proc.superblocks[b2].isSuperblock) {
+                EXPECT_LE(proc.blocks[b2].instrs.size(), 24u);
+            }
+        }
+    }
+}
+
+TEST(Form, SuperblocksAreSingleEntry)
+{
+    Program prog = makeAltLoop();
+    Profiles prof(prog);
+    prof.train(prog, altInput(64));
+
+    FormConfig cfg;
+    cfg.mode = ProfileMode::Path;
+    formProgram(prog, &prof.edge, &prof.path, cfg);
+
+    // No mid-block position of any superblock is a branch target: all
+    // CFG edges enter blocks at their top, which is the superblock
+    // invariant tail duplication guarantees.
+    std::vector<std::string> errors;
+    EXPECT_TRUE(ir::verify(prog, ir::VerifyMode::Superblock, errors))
+        << (errors.empty() ? "" : errors.front());
+}
+
+TEST(Form, OrdinalsAlignWithInstructions)
+{
+    Program prog = makeAltLoop();
+    Profiles prof(prog);
+    prof.train(prog, altInput(64));
+    FormConfig cfg;
+    cfg.mode = ProfileMode::Path;
+    formProgram(prog, &prof.edge, &prof.path, cfg);
+
+    for (const auto &proc : prog.procs) {
+        for (BlockId b2 = 0; b2 < proc.blocks.size(); ++b2) {
+            const auto &sb = proc.superblocks[b2];
+            if (!sb.isSuperblock)
+                continue;
+            ASSERT_EQ(sb.srcOrdinalOf.size(),
+                      proc.blocks[b2].instrs.size());
+            // Ordinals are non-decreasing and end at numSrcBlocks-1.
+            uint32_t prev = 0;
+            for (uint32_t o : sb.srcOrdinalOf) {
+                EXPECT_GE(o, prev);
+                EXPECT_LT(o, sb.numSrcBlocks);
+                prev = o;
+            }
+        }
+    }
+}
+
+TEST(Form, UnreachableTailsRemoved)
+{
+    Program prog = makeAltLoop();
+    Profiles prof(prog);
+    prof.train(prog, altInput(64));
+    const size_t blocks_before = prog.proc(0).blocks.size();
+
+    FormConfig cfg;
+    cfg.mode = ProfileMode::Path;
+    cfg.enlarge = false; // selection only: the merged [head,left,latch]
+                         // trace leaves the original `left` unreachable
+    FormStats stats = formProgram(prog, &prof.edge, &prof.path, cfg);
+    EXPECT_GT(stats.unreachableRemoved, 0u);
+    EXPECT_LE(prog.proc(0).blocks.size(),
+              blocks_before + stats.blocksDuplicated);
+}
+
+TEST(FormP4e, NonLoopSuperblocksStayTailOnly)
+{
+    Program prog = makeAltLoop();
+    Profiles prof(prog);
+    prof.train(prog, altInput(64));
+
+    FormConfig p4;
+    p4.mode = ProfileMode::Path;
+    FormConfig p4e = p4;
+    p4e.nonLoopStopsAtAnyHead = true;
+
+    Program prog_p4 = prog;
+    Program prog_p4e = prog;
+    formProgram(prog_p4, &prof.edge, &prof.path, p4);
+    formProgram(prog_p4e, &prof.edge, &prof.path, p4e);
+    // P4e can only shrink code relative to P4.
+    EXPECT_LE(prog_p4e.instrCount(), prog_p4.instrCount());
+}
+
+TEST(Form, IrreducibleCycleHandledSafely)
+{
+    // Two entries into the B<->C cycle (no dominating header): neither
+    // selection nor enlargement may wedge, and semantics must hold.
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId bb = b.newBlock(); // 1
+    const BlockId cc = b.newBlock(); // 2
+    const BlockId done = b.newBlock(); // 3
+    const RegId n = b.param(0);
+    const RegId i = b.freshReg();
+    b.ldiTo(i, 0);
+    {
+        const RegId odd = b.alui(Opcode::And, n, 1);
+        b.brnz(odd, cc, bb); // enter the cycle at either point
+    }
+    b.setBlock(bb);
+    {
+        b.aluiTo(Opcode::Add, i, i, 1);
+        const RegId c = b.alu(Opcode::CmpLt, i, n);
+        b.brnz(c, cc, done);
+    }
+    b.setBlock(cc);
+    {
+        b.aluiTo(Opcode::Add, i, i, 2);
+        const RegId c = b.alu(Opcode::CmpLt, i, n);
+        b.brnz(c, bb, done);
+    }
+    b.setBlock(done);
+    b.emitValue(i);
+    b.ret(i);
+
+    interp::ProgramInput in;
+    in.mainArgs = {25};
+    interp::Interpreter ref_interp(prog);
+    const auto ref = ref_interp.run(in);
+
+    Profiles prof(prog);
+    prof.train(prog, in);
+    for (const ProfileMode mode : {ProfileMode::Edge, ProfileMode::Path}) {
+        Program formed = prog;
+        FormConfig cfg;
+        cfg.mode = mode;
+        formProgram(formed, &prof.edge, &prof.path, cfg);
+        interp::Interpreter interp(formed);
+        const auto got = interp.run(in);
+        EXPECT_EQ(got.output, ref.output);
+        EXPECT_EQ(got.returnValue, ref.returnValue);
+    }
+}
+
+TEST(FormUpward, GrowsTracesAboveTheSeed)
+{
+    // A preheader chain above a hot loop: the seed lands on the loop
+    // head, and upward growth should pull the preheader blocks in.
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId pre1 = b.newBlock();  // 1
+    const BlockId pre2 = b.newBlock();  // 2
+    const BlockId work = b.newBlock();  // 3 (hot straight-line chain)
+    const BlockId done = b.newBlock();  // 4
+    const RegId n = b.param(0);
+    const RegId acc = b.freshReg();
+    b.ldiTo(acc, 0);
+    b.jmp(pre1);
+    b.setBlock(pre1);
+    b.aluiTo(Opcode::Add, acc, acc, 1);
+    b.jmp(pre2);
+    b.setBlock(pre2);
+    b.aluiTo(Opcode::Add, acc, acc, 2);
+    b.jmp(work);
+    b.setBlock(work);
+    b.aluTo(Opcode::Add, acc, acc, n);
+    b.jmp(done);
+    b.setBlock(done);
+    b.emitValue(acc);
+    b.ret(acc);
+
+    Profiles prof(prog);
+    prof.train(prog, altInput(5));
+
+    // Force the seed away from the entry by seeding priority: all
+    // blocks execute once, so the smallest-id nonzero block (entry 0)
+    // seeds first and the chain is one trace either way; instead,
+    // check upward growth on a program copy where the downward-only
+    // selection is handicapped by marking the entry pre-assigned is
+    // not expressible — so verify behaviourally: with growUpward the
+    // partitioning is unchanged or coarser, and semantics hold.
+    for (const ProfileMode mode : {ProfileMode::Edge, ProfileMode::Path}) {
+        Program down = prog, up = prog;
+        FormConfig cfg;
+        cfg.mode = mode;
+        formProgram(down, &prof.edge, &prof.path, cfg);
+        cfg.growUpward = true;
+        formProgram(up, &prof.edge, &prof.path, cfg);
+        // Upward growth can only merge more blocks into superblocks.
+        EXPECT_LE(up.proc(0).blocks.size(), down.proc(0).blocks.size());
+
+        interp::Interpreter i1(down), i2(up);
+        EXPECT_EQ(i1.run(altInput(5)).output, i2.run(altInput(5)).output);
+    }
+}
+
+/** Upward growth must preserve behaviour on random programs too. */
+class UpwardSemantics : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(UpwardSemantics, OutputInvariant)
+{
+    pstest::GeneratedProgram gen = pstest::makeRandomProgram(GetParam());
+    interp::Interpreter ref_interp(gen.program);
+    const auto ref = ref_interp.run(gen.input);
+
+    Profiles prof(gen.program);
+    prof.train(gen.program, gen.input);
+
+    for (const ProfileMode mode : {ProfileMode::Edge, ProfileMode::Path}) {
+        Program prog = gen.program;
+        FormConfig cfg;
+        cfg.mode = mode;
+        cfg.growUpward = true;
+        formProgram(prog, &prof.edge, &prof.path, cfg);
+        interp::Interpreter interp(prog);
+        const auto got = interp.run(gen.input);
+        EXPECT_EQ(got.output, ref.output) << "seed " << GetParam();
+        EXPECT_EQ(got.returnValue, ref.returnValue)
+            << "seed " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpwardSemantics,
+                         ::testing::Range<uint64_t>(1, 11));
+
+/** Differential property: formation preserves program behaviour. */
+struct FormCase
+{
+    uint64_t seed;
+    ProfileMode mode;
+    bool p4e;
+};
+
+class FormSemantics : public ::testing::TestWithParam<FormCase>
+{};
+
+TEST_P(FormSemantics, OutputInvariant)
+{
+    const FormCase &c = GetParam();
+    pstest::GeneratedProgram gen = pstest::makeRandomProgram(c.seed);
+
+    interp::Interpreter ref_interp(gen.program);
+    const auto ref = ref_interp.run(gen.input);
+
+    Profiles prof(gen.program);
+    prof.train(gen.program, gen.input);
+
+    Program prog = gen.program;
+    FormConfig cfg;
+    cfg.mode = c.mode;
+    cfg.nonLoopStopsAtAnyHead = c.p4e;
+    formProgram(prog, &prof.edge, &prof.path, cfg);
+
+    interp::Interpreter interp(prog);
+    const auto got = interp.run(gen.input);
+    EXPECT_EQ(got.output, ref.output) << "seed " << c.seed;
+    EXPECT_EQ(got.returnValue, ref.returnValue) << "seed " << c.seed;
+}
+
+std::vector<FormCase>
+formCases()
+{
+    std::vector<FormCase> cases;
+    for (uint64_t seed = 1; seed <= 15; ++seed) {
+        cases.push_back({seed, ProfileMode::Edge, false});
+        cases.push_back({seed, ProfileMode::Path, false});
+        cases.push_back({seed, ProfileMode::Path, true});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndModes, FormSemantics,
+                         ::testing::ValuesIn(formCases()));
+
+} // namespace
+} // namespace pathsched::form

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the direct-mapped instruction cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "icache/icache.hpp"
+
+namespace pathsched::icache {
+namespace {
+
+TEST(ICache, DefaultsMatchThePaper)
+{
+    ICache c;
+    EXPECT_EQ(c.params().sizeBytes, 32u * 1024u);
+    EXPECT_EQ(c.params().lineBytes, 32u);
+    EXPECT_EQ(c.params().missPenaltyCycles, 6u);
+}
+
+TEST(ICache, ColdMissThenHit)
+{
+    ICache c;
+    EXPECT_EQ(c.access(0), 6u);
+    EXPECT_EQ(c.access(4), 0u);  // same line
+    EXPECT_EQ(c.access(31), 0u); // still the same 32B line
+    EXPECT_EQ(c.access(32), 6u); // next line
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+TEST(ICache, DirectMappedConflict)
+{
+    ICache::Params p;
+    p.sizeBytes = 64; // two 32B lines
+    p.lineBytes = 32;
+    p.missPenaltyCycles = 10;
+    ICache c(p);
+    EXPECT_EQ(c.access(0), 10u);
+    EXPECT_EQ(c.access(64), 10u); // maps to the same set, evicts
+    EXPECT_EQ(c.access(0), 10u);  // conflict miss
+    EXPECT_EQ(c.access(32), 10u); // the other set, independent
+    EXPECT_EQ(c.access(32), 0u);
+}
+
+TEST(ICache, ResetClearsStateAndStats)
+{
+    ICache c;
+    c.access(0);
+    c.access(0);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_EQ(c.access(0), 6u); // cold again
+}
+
+TEST(ICache, MissRateZeroWhenUntouched)
+{
+    ICache c;
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.0);
+}
+
+} // namespace
+} // namespace pathsched::icache

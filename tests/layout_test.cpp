@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for code layout and Pettis-Hansen procedure placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/callgraph.hpp"
+#include "ir/builder.hpp"
+#include "layout/code_layout.hpp"
+#include "layout/pettis_hansen.hpp"
+
+namespace pathsched::layout {
+namespace {
+
+using ir::IrBuilder;
+using ir::ProcId;
+using ir::Program;
+
+Program
+makeThreeProcs()
+{
+    Program prog;
+    IrBuilder b(prog);
+    const ProcId a = b.newProc("a", 0);
+    b.ret(b.ldi(0));
+    const ProcId c = b.newProc("b", 0);
+    b.callVoid(a, {});
+    b.ret(b.ldi(0));
+    const ProcId m = b.newProc("main", 0);
+    b.callVoid(a, {});
+    b.callVoid(c, {});
+    b.ret(b.ldi(0));
+    prog.mainProc = m;
+    return prog;
+}
+
+TEST(CodeLayout, ContiguousFourByteOps)
+{
+    Program prog = makeThreeProcs();
+    const CodeLayout cl = layoutProgram(prog);
+    EXPECT_EQ(cl.instrBytes, 4u);
+    EXPECT_EQ(cl.totalBytes, prog.instrCount() * 4);
+    // Instructions within a block are consecutive.
+    EXPECT_EQ(cl.instrAddr(0, 0, 1), cl.instrAddr(0, 0, 0) + 4);
+    // Procedures in id order by default: proc 1 follows proc 0.
+    EXPECT_EQ(cl.blockAddr[1][0],
+              cl.blockAddr[0][0] + prog.proc(0).instrCount() * 4);
+}
+
+TEST(CodeLayout, HonorsExplicitOrder)
+{
+    Program prog = makeThreeProcs();
+    const CodeLayout cl = layoutProgram(prog, {2, 0, 1});
+    EXPECT_EQ(cl.blockAddr[2][0], 0u);
+    EXPECT_LT(cl.blockAddr[0][0], cl.blockAddr[1][0]);
+    EXPECT_EQ(cl.totalBytes, prog.instrCount() * 4);
+}
+
+TEST(CodeLayout, AppendsUnlistedProcs)
+{
+    Program prog = makeThreeProcs();
+    const CodeLayout cl = layoutProgram(prog, {1});
+    EXPECT_EQ(cl.blockAddr[1][0], 0u);
+    // 0 and 2 follow in id order.
+    EXPECT_LT(cl.blockAddr[0][0], cl.blockAddr[2][0]);
+}
+
+TEST(CodeLayout, HotFirstPacksSuperblocks)
+{
+    Program prog = makeThreeProcs();
+    auto &p0 = prog.proc(0);
+    // Fake superblock metadata: block 0 is the entry, mark a later
+    // block hot.
+    IrBuilder b(prog);
+    b.setProc(0);
+    const auto cold = b.newBlock();
+    b.setBlock(cold);
+    b.ret(b.ldi(0));
+    const auto hot = b.newBlock();
+    b.setBlock(hot);
+    b.ret(b.ldi(1));
+    p0.syncSideTables();
+    p0.superblocks[hot].isSuperblock = true;
+
+    const CodeLayout cl =
+        layoutProgram(prog, {}, BlockOrder::HotFirst);
+    EXPECT_EQ(cl.blockAddr[0][0], 0u);              // entry leads
+    EXPECT_LT(cl.blockAddr[0][hot], cl.blockAddr[0][cold]);
+    EXPECT_EQ(cl.totalBytes, prog.instrCount() * 4);
+}
+
+TEST(PettisHansen, HotPairPlacedAdjacent)
+{
+    Program prog = makeThreeProcs();
+    analysis::CallGraph cg(prog);
+    cg.addWeight(2, 1, 1000); // main-b hot
+    cg.addWeight(2, 0, 10);
+    cg.addWeight(1, 0, 5);
+
+    const auto order = pettisHansenOrder(cg);
+    ASSERT_EQ(order.size(), 3u);
+    // main (2) and b (1) must be adjacent.
+    size_t pos2 = 0, pos1 = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+        if (order[i] == 2)
+            pos2 = i;
+        if (order[i] == 1)
+            pos1 = i;
+    }
+    EXPECT_EQ(std::max(pos1, pos2) - std::min(pos1, pos2), 1u);
+}
+
+TEST(PettisHansen, DeterministicOnTies)
+{
+    Program prog = makeThreeProcs();
+    analysis::CallGraph cg(prog);
+    cg.addWeight(2, 1, 10);
+    cg.addWeight(2, 0, 10);
+    const auto o1 = pettisHansenOrder(cg);
+    const auto o2 = pettisHansenOrder(cg);
+    EXPECT_EQ(o1, o2);
+}
+
+TEST(PettisHansen, ZeroWeightsKeepIdOrder)
+{
+    Program prog = makeThreeProcs();
+    analysis::CallGraph cg(prog);
+    const auto order = pettisHansenOrder(cg);
+    EXPECT_EQ(order, (std::vector<ir::ProcId>{0, 1, 2}));
+}
+
+} // namespace
+} // namespace pathsched::layout

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Direct unit tests of trace materialization: each internal-terminator
+ * conversion case (fallthrough-on-trace, taken-on-trace with branch
+ * inversion, unconditional jump elision, both-targets-on-trace), the
+ * self-loop back edge, and ordinal bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "form/internal.hpp"
+#include "form/materialize.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace pathsched::form {
+namespace {
+
+using ir::BlockId;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Program;
+using ir::RegId;
+
+/** Materialize one hand-chosen trace in @p prog's main procedure. */
+FormStats
+materialize(Program &prog, const Trace &t)
+{
+    FormConfig cfg;
+    ProcFormState state(prog.proc(prog.mainProc), cfg);
+    state.traces.push_back(t);
+    for (BlockId b : t)
+        state.traceOf[b] = 0;
+    state.traceIsLoop.assign(1, 0);
+    state.traceEnlarged.assign(1, 0);
+    FormStats stats;
+    materializeTraces(state, stats);
+    return stats;
+}
+
+TEST(Materialize, FallthroughTerminatorBecomesExit)
+{
+    // head's Br: taken -> off, fallthrough -> next (on trace).
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId next = b.newBlock(); // 1
+    const BlockId off = b.newBlock();  // 2
+    b.brnz(b.param(0), off, next);
+    b.setBlock(next);
+    b.ret(b.ldi(1));
+    b.setBlock(off);
+    b.ret(b.ldi(2));
+
+    materialize(prog, {0, next});
+    const auto &p = prog.proc(0);
+    const auto &sb = p.superblocks[0];
+    ASSERT_TRUE(sb.isSuperblock);
+    EXPECT_EQ(sb.numSrcBlocks, 2u);
+    // The internal branch kept its sense and points off-trace, with
+    // the in-block fallthrough marked by kNoBlock.
+    bool found_exit = false;
+    for (size_t i = 0; i + 1 < p.blocks[0].instrs.size(); ++i) {
+        const auto &ins = p.blocks[0].instrs[i];
+        if (ins.isBranch()) {
+            EXPECT_EQ(ins.op, Opcode::BrNz);
+            EXPECT_EQ(ins.target0, off);
+            EXPECT_EQ(ins.target1, ir::kNoBlock);
+            found_exit = true;
+        }
+    }
+    EXPECT_TRUE(found_exit);
+}
+
+TEST(Materialize, TakenTerminatorInvertsBranchSense)
+{
+    // head's Br: taken -> next (on trace), fallthrough -> off.
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId next = b.newBlock(); // 1
+    const BlockId off = b.newBlock();  // 2
+    b.brnz(b.param(0), next, off);
+    b.setBlock(next);
+    b.ret(b.ldi(1));
+    b.setBlock(off);
+    b.ret(b.ldi(2));
+
+    materialize(prog, {0, next});
+    const auto &p = prog.proc(0);
+    bool found_exit = false;
+    for (size_t i = 0; i + 1 < p.blocks[0].instrs.size(); ++i) {
+        const auto &ins = p.blocks[0].instrs[i];
+        if (ins.isBranch()) {
+            EXPECT_EQ(ins.op, Opcode::BrZ) << "sense must invert";
+            EXPECT_EQ(ins.target0, off);
+            found_exit = true;
+        }
+    }
+    EXPECT_TRUE(found_exit);
+
+    // Semantics on both directions.
+    interp::ProgramInput in;
+    in.mainArgs = {1};
+    EXPECT_EQ(interp::Interpreter(prog).run(in).returnValue, 1);
+    in.mainArgs = {0};
+    EXPECT_EQ(interp::Interpreter(prog).run(in).returnValue, 2);
+}
+
+TEST(Materialize, JumpsAreElided)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    const BlockId next = b.newBlock();
+    const RegId v = b.ldi(7);
+    b.jmp(next);
+    b.setBlock(next);
+    b.ret(v);
+
+    materialize(prog, {0, next});
+    const auto &p = prog.proc(0);
+    // ldi + ret only: the jmp disappeared.
+    ASSERT_EQ(p.blocks[0].instrs.size(), 2u);
+    EXPECT_EQ(p.blocks[0].instrs[0].op, Opcode::Ldi);
+    EXPECT_EQ(p.blocks[0].instrs[1].op, Opcode::Ret);
+    EXPECT_EQ(interp::Interpreter(prog).run({}).returnValue, 7);
+}
+
+TEST(Materialize, BranchWithBothTargetsOnTraceIsDropped)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId next = b.newBlock();
+    b.brnz(b.param(0), next, next); // degenerate: both ways continue
+    b.setBlock(next);
+    b.ret(b.ldi(3));
+
+    materialize(prog, {0, next});
+    const auto &p = prog.proc(0);
+    for (const auto &ins : p.blocks[0].instrs)
+        EXPECT_FALSE(ins.isBranch());
+    EXPECT_EQ(interp::Interpreter(prog).run({.mainArgs = {1},
+                                             .memImage = {}})
+                  .returnValue,
+              3);
+}
+
+TEST(Materialize, SelfLoopBackEdgeMarksLoop)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId head = b.newBlock(); // 1
+    const BlockId body = b.newBlock(); // 2
+    const BlockId done = b.newBlock(); // 3
+    const RegId i = b.freshReg();
+    b.ldiTo(i, 0);
+    b.jmp(head);
+    b.setBlock(head);
+    const RegId c = b.alu(Opcode::CmpLt, i, b.param(0));
+    b.brnz(c, body, done);
+    b.setBlock(body);
+    b.aluiTo(Opcode::Add, i, i, 1);
+    b.jmp(head);
+    b.setBlock(done);
+    b.ret(i);
+
+    materialize(prog, {head, body});
+    const auto &p = prog.proc(0);
+    const auto &sb = p.superblocks[head];
+    ASSERT_TRUE(sb.isSuperblock);
+    EXPECT_TRUE(sb.isLoop); // terminator jumps back to the head
+    EXPECT_EQ(p.blocks[head].terminator().target0, head);
+
+    interp::ProgramInput in;
+    in.mainArgs = {5};
+    EXPECT_EQ(interp::Interpreter(prog).run(in).returnValue, 5);
+}
+
+TEST(Materialize, RepeatedBlocksBecomeCopies)
+{
+    // An "enlarged" trace visiting the loop twice: the head's code
+    // appears twice in the merged block.
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId head = b.newBlock(); // 1
+    const BlockId done = b.newBlock(); // 2
+    const RegId i = b.freshReg();
+    b.ldiTo(i, 0);
+    b.jmp(head);
+    b.setBlock(head);
+    b.aluiTo(Opcode::Add, i, i, 1);
+    const RegId c = b.alu(Opcode::CmpLt, i, b.param(0));
+    b.brnz(c, head, done);
+    b.setBlock(done);
+    b.ret(i);
+
+    materialize(prog, {head, head, head});
+    const auto &p = prog.proc(0);
+    const auto &sb = p.superblocks[head];
+    ASSERT_TRUE(sb.isSuperblock);
+    EXPECT_EQ(sb.numSrcBlocks, 3u);
+    // Internal back-branches became exits... to the head itself: the
+    // taken direction continued the trace, so the sense inverted and
+    // the exits now point at `done`.
+    int adds = 0;
+    for (const auto &ins : p.blocks[head].instrs)
+        adds += ins.op == Opcode::Add && ins.useImm;
+    EXPECT_EQ(adds, 3);
+
+    std::vector<std::string> errors;
+    EXPECT_TRUE(ir::verify(prog, ir::VerifyMode::Superblock, errors))
+        << (errors.empty() ? "" : errors.front());
+    interp::ProgramInput in;
+    in.mainArgs = {7};
+    EXPECT_EQ(interp::Interpreter(prog).run(in).returnValue, 7);
+}
+
+TEST(Materialize, OrdinalsFollowTracePositions)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    const BlockId m1 = b.newBlock();
+    const BlockId m2 = b.newBlock();
+    b.ldi(1);
+    b.jmp(m1);
+    b.setBlock(m1);
+    b.ldi(2);
+    b.jmp(m2);
+    b.setBlock(m2);
+    b.ret(b.ldi(3));
+
+    materialize(prog, {0, m1, m2});
+    const auto &sb = prog.proc(0).superblocks[0];
+    ASSERT_TRUE(sb.isSuperblock);
+    // ldi(1) [ord 0], ldi(2) [ord 1], ldi(3)+ret [ord 2]; jmps elided.
+    EXPECT_EQ(sb.srcOrdinalOf,
+              (std::vector<uint32_t>{0, 1, 2, 2}));
+}
+
+} // namespace
+} // namespace pathsched::form

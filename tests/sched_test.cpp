@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Tests for the compact pass: local optimization, renaming with
+ * compensation stubs, the dependence graph / list scheduler (via
+ * validateSchedule), and differential semantics preservation on random
+ * programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/liveness.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "machine/machine.hpp"
+#include "sched/compact.hpp"
+#include "sched/local_opt.hpp"
+#include "sched/renamer.hpp"
+#include "sched/scheduler.hpp"
+#include "testutil.hpp"
+
+namespace pstest = pathsched::testing;
+
+namespace pathsched::sched {
+namespace {
+
+using ir::BlockId;
+using ir::IrBuilder;
+using ir::kNoReg;
+using ir::Opcode;
+using ir::Program;
+using ir::RegId;
+
+interp::RunResult
+runProgram(const Program &prog, const interp::ProgramInput &in = {})
+{
+    interp::Interpreter interp(prog);
+    return interp.run(in);
+}
+
+TEST(LocalOpt, CopyPropagationAndDce)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const RegId x = b.param(0);
+    const RegId copy = b.mov(x);
+    const RegId y = b.addi(copy, 1); // use of the copy
+    b.ret(y);
+
+    analysis::Liveness live(prog.proc(0));
+    const LocalOptStats stats = optimizeBlock(prog.proc(0), 0, live);
+    EXPECT_GE(stats.copiesPropagated, 1u);
+    EXPECT_GE(stats.deadRemoved, 1u); // the mov becomes dead
+    // The addi must now read the original register.
+    const auto &instrs = prog.proc(0).blocks[0].instrs;
+    ASSERT_EQ(instrs.size(), 2u);
+    EXPECT_EQ(instrs[0].src1, x);
+}
+
+TEST(LocalOpt, ConstantsFoldIntoImmediates)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const RegId c = b.ldi(5);
+    const RegId y = b.add(b.param(0), c);
+    b.ret(y);
+
+    analysis::Liveness live(prog.proc(0));
+    const LocalOptStats stats = optimizeBlock(prog.proc(0), 0, live);
+    EXPECT_GE(stats.constantsFolded, 1u);
+    const auto &instrs = prog.proc(0).blocks[0].instrs;
+    // ldi is dead after folding; add uses the immediate form.
+    ASSERT_EQ(instrs.size(), 2u);
+    EXPECT_TRUE(instrs[0].useImm);
+    EXPECT_EQ(instrs[0].imm, 5);
+}
+
+TEST(LocalOpt, AddChainFolding)
+{
+    // i+1 then +1 then +1 collapses to base+k forms (what lets an
+    // unrolled induction variable update in parallel).
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const RegId i0 = b.param(0);
+    const RegId i1 = b.addi(i0, 1);
+    const RegId i2 = b.addi(i1, 1);
+    const RegId i3 = b.addi(i2, 1);
+    b.emitValue(i1);
+    b.emitValue(i2);
+    b.emitValue(i3);
+    b.ret(i3);
+
+    analysis::Liveness live(prog.proc(0));
+    const LocalOptStats stats = optimizeBlock(prog.proc(0), 0, live);
+    EXPECT_GE(stats.chainsFolded, 2u);
+    // All three adds now hang off the original register directly.
+    for (const auto &ins : prog.proc(0).blocks[0].instrs) {
+        if (ins.op == Opcode::Add) {
+            EXPECT_EQ(ins.src1, i0);
+        }
+    }
+}
+
+TEST(LocalOpt, ChainFoldsIntoMemoryOffset)
+{
+    Program prog;
+    prog.memWords = 16;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    const RegId base = b.ldi(0);
+    const RegId p1 = b.addi(base, 4);
+    const RegId v = b.ld(p1, 2); // -> ld [base + 6]
+    b.ret(v);
+
+    analysis::Liveness live(prog.proc(0));
+    optimizeBlock(prog.proc(0), 0, live);
+    const auto &instrs = prog.proc(0).blocks[0].instrs;
+    bool found = false;
+    for (const auto &ins : instrs) {
+        if (ins.op == Opcode::Ld) {
+            EXPECT_EQ(ins.imm, 6);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LocalOpt, KeepsValuesLiveAtSideExits)
+{
+    // A value only read on the off-trace path of a mid-block exit must
+    // survive DCE.
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId off = b.newBlock();
+    const RegId t = b.addi(b.param(0), 7); // only used off-trace
+    {
+        ir::Instruction exit_br =
+            ir::makeBr(Opcode::BrNz, b.param(0), off, ir::kNoBlock);
+        prog.proc(0).blocks[0].instrs.push_back(exit_br);
+    }
+    b.ret(b.ldi(0));
+    b.setBlock(off);
+    b.ret(t);
+
+    analysis::Liveness live(prog.proc(0));
+    const size_t before = prog.proc(0).blocks[0].instrs.size();
+    optimizeBlock(prog.proc(0), 0, live);
+    EXPECT_EQ(prog.proc(0).blocks[0].instrs.size(), before);
+}
+
+TEST(Renamer, RenamesNonLastDefs)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const RegId a = b.freshReg();
+    b.ldiTo(a, 1);
+    b.emitValue(a);
+    b.ldiTo(a, 2); // second def of the same register
+    b.emitValue(a);
+    b.ret(a);
+
+    analysis::Liveness live(prog.proc(0));
+    const RenameStats stats = renameBlock(prog.proc(0), 0, live);
+    EXPECT_EQ(stats.defsRenamed, 1u);
+    const auto &instrs = prog.proc(0).blocks[0].instrs;
+    // First def got a fresh register; its use follows it.
+    EXPECT_NE(instrs[0].dst, a);
+    EXPECT_EQ(instrs[1].src1, instrs[0].dst);
+    // Last def keeps the architectural register.
+    EXPECT_EQ(instrs[2].dst, a);
+    // Semantics unchanged.
+    EXPECT_EQ(runProgram(prog).output, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(Renamer, CompensationStubOnLiveExit)
+{
+    // r is live at the exit target between its two defs: renaming the
+    // first def must create a stub that restores r on the exit edge.
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId off = b.newBlock();
+    const RegId r = b.freshReg();
+    b.ldiTo(r, 11);
+    {
+        ir::Instruction exit_br =
+            ir::makeBr(Opcode::BrNz, b.param(0), off, ir::kNoBlock);
+        prog.proc(0).blocks[0].instrs.push_back(exit_br);
+    }
+    b.ldiTo(r, 22);
+    b.ret(r);
+    b.setBlock(off);
+    b.emitValue(r);
+    b.ret(r);
+
+    const size_t blocks_before = prog.proc(0).blocks.size();
+    analysis::Liveness live(prog.proc(0));
+    const RenameStats stats = renameBlock(prog.proc(0), 0, live);
+    EXPECT_EQ(stats.defsRenamed, 1u);
+    EXPECT_EQ(stats.stubsCreated, 1u);
+    EXPECT_EQ(stats.copiesInserted, 1u);
+    EXPECT_EQ(prog.proc(0).blocks.size(), blocks_before + 1);
+
+    // Exit taken: the stub must deliver 11 to the off-trace path.
+    interp::ProgramInput in;
+    in.mainArgs = {1};
+    auto res = runProgram(prog, in);
+    EXPECT_EQ(res.output, (std::vector<int64_t>{11}));
+    EXPECT_EQ(res.returnValue, 11);
+    // Exit not taken: fall through to the second def.
+    in.mainArgs = {0};
+    res = runProgram(prog, in);
+    EXPECT_EQ(res.returnValue, 22);
+}
+
+TEST(Renamer, NoStubWhenNotLiveAtExit)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId off = b.newBlock();
+    const RegId r = b.freshReg();
+    b.ldiTo(r, 11);
+    b.emitValue(r);
+    {
+        ir::Instruction exit_br =
+            ir::makeBr(Opcode::BrNz, b.param(0), off, ir::kNoBlock);
+        prog.proc(0).blocks[0].instrs.push_back(exit_br);
+    }
+    b.ldiTo(r, 22);
+    b.ret(r);
+    b.setBlock(off);
+    b.ret(b.ldi(0)); // off-trace path never reads r
+
+    analysis::Liveness live(prog.proc(0));
+    const RenameStats stats = renameBlock(prog.proc(0), 0, live);
+    EXPECT_EQ(stats.stubsCreated, 0u);
+}
+
+/** Compact a whole program and check every block's schedule. */
+void
+compactAndValidate(Program &prog, const machine::MachineModel &mm)
+{
+    compactProgram(prog, mm);
+    std::vector<std::string> errors;
+    for (const auto &proc : prog.procs) {
+        analysis::Liveness live(proc);
+        for (BlockId b2 = 0; b2 < proc.blocks.size(); ++b2) {
+            EXPECT_TRUE(validateSchedule(proc, b2, live, mm, errors))
+                << proc.name << " block " << b2 << ": "
+                << (errors.empty() ? "" : errors.back());
+        }
+    }
+}
+
+TEST(Scheduler, PacksIndependentWork)
+{
+    // 8 independent ldi + a ret: one cycle of 8 plus the control op.
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    std::vector<RegId> vals;
+    for (int i = 0; i < 8; ++i)
+        vals.push_back(b.ldi(i));
+    RegId acc = vals[0];
+    b.ret(acc);
+
+    const auto mm = machine::MachineModel::unitLatency();
+    CompactOptions opts;
+    opts.localOpt = false; // keep all the ldi alive? they are dead...
+    opts.rename = false;
+    compactProgram(prog, mm, opts);
+    const auto &sched = prog.proc(0).schedules[0];
+    ASSERT_TRUE(sched.valid);
+    EXPECT_EQ(sched.numCycles, 2u); // 8-wide cycle 0, ret in cycle 1
+}
+
+TEST(Scheduler, RespectsIssueWidth)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    for (int i = 0; i < 17; ++i)
+        b.emitValue(b.ldi(i)); // emits serialize; ldis are free
+    b.ret(kNoReg);
+
+    const auto mm = machine::MachineModel::unitLatency();
+    compactAndValidate(prog, mm);
+}
+
+TEST(Scheduler, SerialChainTakesLatencySum)
+{
+    Program prog;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    RegId v = b.param(0);
+    for (int i = 0; i < 5; ++i)
+        v = b.addi(v, 1);
+    b.emitValue(v);
+    b.ret(v);
+
+    const auto mm = machine::MachineModel::unitLatency();
+    CompactOptions opts;
+    opts.localOpt = false; // keep the serial chain intact
+    opts.rename = false;
+    compactProgram(prog, mm, opts);
+    const auto &sched = prog.proc(0).schedules[0];
+    // 5 dependent adds + emit/ret: at least 6 cycles.
+    EXPECT_GE(sched.numCycles, 6u);
+}
+
+TEST(Scheduler, RealisticLatenciesRespected)
+{
+    Program prog;
+    prog.memWords = 8;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    const RegId base = b.ldi(0);
+    const RegId v = b.ld(base, 0); // latency 3
+    const RegId w = b.addi(v, 1);
+    b.ret(w);
+
+    const auto mm = machine::MachineModel::realisticLatency();
+    compactProgram(prog, mm);
+    const auto &proc = prog.proc(0);
+    const auto &sched = proc.schedules[0];
+    ASSERT_TRUE(sched.valid);
+    // Find the load and its consumer in the flattened order.
+    uint32_t ld_cycle = 0, add_cycle = 0;
+    for (size_t i = 0; i < proc.blocks[0].instrs.size(); ++i) {
+        if (proc.blocks[0].instrs[i].isLoad())
+            ld_cycle = sched.cycleOf[i];
+        if (proc.blocks[0].instrs[i].op == Opcode::Add)
+            add_cycle = sched.cycleOf[i];
+    }
+    EXPECT_GE(add_cycle, ld_cycle + 3);
+
+    std::vector<std::string> errors;
+    analysis::Liveness live(proc);
+    EXPECT_TRUE(validateSchedule(proc, 0, live, mm, errors));
+}
+
+TEST(Scheduler, HoistedLoadBecomesSpeculative)
+{
+    // A load after a side exit with a dead-at-exit destination should
+    // hoist above the branch and turn into LdSpec.
+    Program prog;
+    prog.memWords = 8;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId off = b.newBlock();
+    const RegId base = b.ldi(0);
+    // Put the branch condition on a dependence chain so the exit
+    // schedules late and the load has room to hoist above it.
+    const RegId c1 = b.addi(b.param(0), 1);
+    const RegId c2 = b.muli(c1, 3);
+    const RegId c3 = b.alui(Opcode::And, c2, 1);
+    {
+        ir::Instruction exit_br =
+            ir::makeBr(Opcode::BrNz, c3, off, ir::kNoBlock);
+        prog.proc(0).blocks[0].instrs.push_back(exit_br);
+    }
+    const RegId v = b.ld(base, 3);
+    const RegId w = b.addi(v, 1);
+    b.emitValue(w);
+    b.ret(w);
+    b.setBlock(off);
+    b.ret(b.ldi(0));
+
+    const auto mm = machine::MachineModel::unitLatency();
+    compactProgram(prog, mm);
+
+    const auto &proc = prog.proc(0);
+    const auto &sched = proc.schedules[0];
+    bool found_spec = false;
+    uint32_t br_cycle = 0, ld_cycle = 0;
+    for (size_t i = 0; i < proc.blocks[0].instrs.size(); ++i) {
+        const auto &ins = proc.blocks[0].instrs[i];
+        if (ins.op == Opcode::LdSpec) {
+            found_spec = true;
+            ld_cycle = sched.cycleOf[i];
+        }
+        if (ins.isBranch())
+            br_cycle = sched.cycleOf[i];
+    }
+    ASSERT_TRUE(found_spec);
+    EXPECT_LE(ld_cycle, br_cycle);
+
+    // Semantics on both paths: cond = ((arg+1)*3) & 1.
+    interp::ProgramInput in;
+    in.memImage = {0, 0, 0, 9};
+    in.mainArgs = {1}; // cond 0: fall through, load feeds the add
+    EXPECT_EQ(interp::Interpreter(prog).run(in).returnValue, 10);
+    in.mainArgs = {0}; // cond 1: early exit
+    EXPECT_EQ(interp::Interpreter(prog).run(in).returnValue, 0);
+}
+
+TEST(Scheduler, StoresNeverCrossExits)
+{
+    Program prog;
+    prog.memWords = 8;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 1);
+    const BlockId off = b.newBlock();
+    const RegId base = b.ldi(0);
+    const RegId one = b.ldi(1);
+    b.st(base, 0, one); // before the exit
+    {
+        ir::Instruction exit_br =
+            ir::makeBr(Opcode::BrNz, b.param(0), off, ir::kNoBlock);
+        prog.proc(0).blocks[0].instrs.push_back(exit_br);
+    }
+    b.st(base, 1, one); // after the exit
+    b.ret(kNoReg);
+    b.setBlock(off);
+    const RegId v0 = b.ld(base, 0);
+    const RegId v1 = b.ld(base, 1);
+    b.emitValue(v0);
+    b.emitValue(v1);
+    b.ret(kNoReg);
+
+    const auto mm = machine::MachineModel::unitLatency();
+    compactProgram(prog, mm);
+
+    // Taking the exit must observe the first store but not the second.
+    interp::ProgramInput in;
+    in.mainArgs = {1};
+    const auto res = interp::Interpreter(prog).run(in);
+    EXPECT_EQ(res.output, (std::vector<int64_t>{1, 0}));
+}
+
+TEST(Scheduler, WawWithLongerSecondLatency)
+{
+    // Regression: Ldi (1 cycle) then Ld (3 cycles) writing the same
+    // register used to underflow the WAW edge latency and wedge the
+    // scheduler.
+    Program prog;
+    prog.memWords = 8;
+    IrBuilder b(prog);
+    prog.mainProc = b.newProc("main", 0);
+    const RegId base = b.ldi(0);
+    const RegId r = b.freshReg();
+    b.ldiTo(r, 5);
+    b.emitValue(r);
+    b.ldTo(r, base, 2); // second def, longer latency
+    b.ret(r);
+
+    const auto mm = machine::MachineModel::realisticLatency();
+    CompactOptions opts;
+    opts.rename = false; // keep the WAW pair intact
+    opts.localOpt = false;
+    compactProgram(prog, mm, opts);
+
+    interp::ProgramInput in;
+    in.memImage = {0, 0, 42};
+    const auto res = interp::Interpreter(prog).run(in);
+    EXPECT_EQ(res.output, (std::vector<int64_t>{5}));
+    EXPECT_EQ(res.returnValue, 42);
+}
+
+TEST(Compact, EveryBlockGetsValidSchedule)
+{
+    pstest::GeneratedProgram gen = pstest::makeRandomProgram(3);
+    const auto mm = machine::MachineModel::unitLatency();
+    compactAndValidate(gen.program, mm);
+    std::vector<std::string> errors;
+    EXPECT_TRUE(ir::verify(gen.program, ir::VerifyMode::Superblock,
+                           errors))
+        << (errors.empty() ? "" : errors.front());
+}
+
+/** Differential property: compaction preserves program behaviour. */
+class CompactSemantics : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CompactSemantics, OutputInvariant)
+{
+    pstest::GeneratedProgram gen = pstest::makeRandomProgram(GetParam());
+    const auto ref = runProgram(gen.program, gen.input);
+
+    for (const bool realistic : {false, true}) {
+        Program prog = gen.program;
+        const auto mm = realistic
+                            ? machine::MachineModel::realisticLatency()
+                            : machine::MachineModel::unitLatency();
+        compactProgram(prog, mm);
+        const auto got = runProgram(prog, gen.input);
+        EXPECT_EQ(got.output, ref.output) << "seed " << GetParam();
+        EXPECT_EQ(got.returnValue, ref.returnValue)
+            << "seed " << GetParam();
+        // Compaction must not slow programs down (unit latency).
+        if (!realistic) {
+            EXPECT_LE(got.cycles, ref.cycles);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactSemantics,
+                         ::testing::Range<uint64_t>(1, 41));
+
+} // namespace
+} // namespace pathsched::sched

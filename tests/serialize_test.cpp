@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for profile serialization: round-trips, merging, and error
+ * handling — including a property test that every query agrees after
+ * a save/load cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "profile/serialize.hpp"
+#include "testutil.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pstest = pathsched::testing;
+
+namespace pathsched::profile {
+namespace {
+
+using ir::BlockId;
+
+TEST(SerializeEdge, RoundTripExactCounts)
+{
+    const auto w = workloads::makeCorr();
+    EdgeProfiler ep(w.program);
+    interp::Interpreter interp(w.program);
+    interp.addListener(&ep);
+    interp.run(w.train);
+
+    const std::string text = toText(ep);
+    EXPECT_NE(text.find("edgeprofile v1"), std::string::npos);
+
+    EdgeProfiler loaded(w.program);
+    std::string error;
+    ASSERT_TRUE(fromText(text, loaded, error)) << error;
+
+    for (BlockId b = 0; b < w.program.proc(0).blocks.size(); ++b)
+        EXPECT_EQ(loaded.blockFreq(0, b), ep.blockFreq(0, b));
+    ep.forEachEdge([&](ir::ProcId p, BlockId from, BlockId to,
+                       uint64_t n) {
+        EXPECT_EQ(loaded.edgeFreq(p, from, to), n);
+    });
+}
+
+TEST(SerializeEdge, MergingAddsCounts)
+{
+    const auto w = workloads::makeAlt();
+    EdgeProfiler ep(w.program);
+    interp::Interpreter interp(w.program);
+    interp.addListener(&ep);
+    interp.run(w.train);
+    const std::string text = toText(ep);
+
+    EdgeProfiler merged(w.program);
+    std::string error;
+    ASSERT_TRUE(fromText(text, merged, error));
+    ASSERT_TRUE(fromText(text, merged, error)); // load twice
+    EXPECT_EQ(merged.blockFreq(0, 1), 2 * ep.blockFreq(0, 1));
+}
+
+TEST(SerializeEdge, RejectsGarbage)
+{
+    const auto w = workloads::makeAlt();
+    EdgeProfiler ep(w.program);
+    std::string error;
+    EXPECT_FALSE(fromText("not a profile", ep, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(fromText("edgeprofile v1\nbogus 1 2 3\n", ep, error));
+}
+
+TEST(SerializePath, HeaderCarriesParameters)
+{
+    const auto w = workloads::makeCorr();
+    PathProfileParams params;
+    params.maxBranches = 7;
+    params.maxBlocks = 20;
+    PathProfiler pp(w.program, params);
+    interp::Interpreter interp(w.program);
+    interp.addListener(&pp);
+    interp.run(w.train);
+    const std::string text = toText(pp);
+    EXPECT_NE(text.find("pathprofile v1 7 20 0"), std::string::npos);
+
+    PathProfiler loaded(w.program, params);
+    std::string error;
+    EXPECT_TRUE(fromText(text, loaded, error)) << error;
+}
+
+TEST(SerializePath, RejectsParameterMismatch)
+{
+    const auto w = workloads::makeAlt();
+    PathProfiler pp(w.program, {});
+    interp::Interpreter interp(w.program);
+    interp.addListener(&pp);
+    interp.run(w.train);
+    const std::string text = toText(pp);
+
+    PathProfileParams other;
+    other.maxBranches = 3;
+    PathProfiler loaded(w.program, other);
+    std::string error;
+    EXPECT_FALSE(fromText(text, loaded, error));
+    EXPECT_NE(error.find("parameters"), std::string::npos);
+}
+
+TEST(SerializePath, RejectsOverBudgetRecord)
+{
+    const auto w = workloads::makeAlt();
+    PathProfiler pp(w.program, {});
+    std::string error;
+    // Block 99 does not exist in alt's main.
+    const std::string bogus =
+        "pathprofile v1 15 64 0\npath 0 5 2 99 1\n";
+    EXPECT_FALSE(fromText(bogus, pp, error));
+}
+
+/** Property: save/load is invisible to every pathFreq query. */
+class PathRoundTrip : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(PathRoundTrip, QueriesAgree)
+{
+    pstest::GeneratedProgram gen = pstest::makeRandomProgram(GetParam());
+    PathProfiler pp(gen.program, {});
+    interp::Interpreter interp(gen.program);
+    interp.addListener(&pp);
+    interp.run(gen.input);
+
+    const std::string text = toText(pp);
+    PathProfiler loaded(gen.program, {});
+    std::string error;
+    ASSERT_TRUE(fromText(text, loaded, error)) << error;
+
+    pp.finalize();
+    loaded.finalize();
+    EXPECT_EQ(loaded.numPaths(), pp.numPaths());
+
+    // Every recorded window (and its suffixes via subtree sums) must
+    // answer identically.
+    pp.forEachPath([&](ir::ProcId p, const std::vector<BlockId> &seq,
+                       uint64_t) {
+        EXPECT_EQ(loaded.pathFreq(p, seq), pp.pathFreq(p, seq));
+        if (seq.size() > 1) {
+            const std::vector<BlockId> suffix(seq.begin() + 1,
+                                              seq.end());
+            EXPECT_EQ(loaded.pathFreq(p, suffix),
+                      pp.pathFreq(p, suffix));
+        }
+    });
+    for (const auto &proc : gen.program.procs) {
+        for (BlockId b = 0; b < proc.blocks.size(); ++b)
+            EXPECT_EQ(loaded.blockFreq(proc.id, b),
+                      pp.blockFreq(proc.id, b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathRoundTrip,
+                         ::testing::Range<uint64_t>(1, 11));
+
+} // namespace
+} // namespace pathsched::profile

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * End-to-end smoke tests: every micro workload through every config.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pathsched {
+namespace {
+
+using pipeline::PipelineOptions;
+using pipeline::runPipeline;
+using pipeline::SchedConfig;
+
+TEST(Smoke, AltAllConfigs)
+{
+    const workloads::Workload w = workloads::makeAlt();
+    PipelineOptions opts;
+    for (SchedConfig config :
+         {SchedConfig::BB, SchedConfig::M4, SchedConfig::M16,
+          SchedConfig::P4, SchedConfig::P4e}) {
+        const auto res = runPipeline(w.program, w.train, w.test, config,
+                                     opts);
+        EXPECT_TRUE(res.outputMatches) << res.name;
+        EXPECT_GT(res.test.cycles, 0u) << res.name;
+    }
+}
+
+TEST(Smoke, PathBeatsEdgeOnAlt)
+{
+    const workloads::Workload w = workloads::makeAlt();
+    PipelineOptions opts;
+    const auto m4 = runPipeline(w.program, w.train, w.test,
+                                SchedConfig::M4, opts);
+    const auto p4 = runPipeline(w.program, w.train, w.test,
+                                SchedConfig::P4, opts);
+    EXPECT_LT(p4.test.cycles, m4.test.cycles);
+}
+
+TEST(Smoke, WcRunsAndCounts)
+{
+    const workloads::Workload w = workloads::makeWc();
+    PipelineOptions opts;
+    const auto bb = runPipeline(w.program, w.train, w.test,
+                                SchedConfig::BB, opts);
+    ASSERT_EQ(bb.test.output.size(), 3u);
+    EXPECT_GT(bb.test.output[0], 0); // lines
+    EXPECT_GT(bb.test.output[1], 0); // words
+    EXPECT_EQ(bb.test.output[2], 80000); // chars
+}
+
+} // namespace
+} // namespace pathsched

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the support library: Rng, BitVec, statistics and
+ * string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bitvec.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+#include "support/strutil.hpp"
+
+namespace pathsched {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(double(hits) / 10000.0, 0.25, 0.03);
+}
+
+TEST(BitVec, SetTestReset)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_FALSE(v.test(0));
+    v.set(0);
+    v.set(64);
+    v.set(129);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(129));
+    EXPECT_FALSE(v.test(1));
+    v.reset(64);
+    EXPECT_FALSE(v.test(64));
+    EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVec, UnionReportsChange)
+{
+    BitVec a(70), b(70);
+    b.set(69);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_FALSE(a.unionWith(b)); // already contained
+    EXPECT_TRUE(a.test(69));
+}
+
+TEST(BitVec, SubtractRemovesBits)
+{
+    BitVec a(10), b(10);
+    a.set(3);
+    a.set(4);
+    b.set(3);
+    a.subtract(b);
+    EXPECT_FALSE(a.test(3));
+    EXPECT_TRUE(a.test(4));
+}
+
+TEST(BitVec, EqualityComparesContentAndSize)
+{
+    BitVec a(10), b(10), c(11);
+    EXPECT_TRUE(a == b);
+    b.set(5);
+    EXPECT_FALSE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(BitVec, ClearZeroesEverything)
+{
+    BitVec a(100);
+    a.set(7);
+    a.set(99);
+    a.clear();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(RunningStat, TracksMinMaxMeanSum)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(-1.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.mean(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Statistics, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Strutil, Strfmt)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Strutil, Join)
+{
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"a"}, ", "), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(Strutil, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567), "1,234,567");
+}
+
+TEST(Strutil, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padLeft("abcd", 2), "abcd");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padRight("abcd", 2), "abcd");
+}
+
+} // namespace
+} // namespace pathsched

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the 14 Table-1 workloads: structural validity, distinct
+ * train/test inputs, and per-benchmark behavioural checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "ir/verifier.hpp"
+#include "workloads/textutil.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pathsched::workloads {
+namespace {
+
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(EveryWorkload, VerifiesStrict)
+{
+    const Workload w = makeByName(GetParam());
+    std::vector<std::string> errors;
+    EXPECT_TRUE(ir::verify(w.program, ir::VerifyMode::Strict, errors))
+        << (errors.empty() ? "" : errors.front());
+    EXPECT_EQ(w.name, GetParam());
+    EXPECT_FALSE(w.description.empty());
+    EXPECT_FALSE(w.group.empty());
+}
+
+TEST_P(EveryWorkload, TrainAndTestInputsDiffer)
+{
+    const Workload w = makeByName(GetParam());
+    EXPECT_TRUE(w.train.mainArgs != w.test.mainArgs ||
+                w.train.memImage != w.test.memImage);
+}
+
+TEST_P(EveryWorkload, RunsAndProducesOutput)
+{
+    const Workload w = makeByName(GetParam());
+    for (const auto *input : {&w.train, &w.test}) {
+        interp::Interpreter interp(w.program);
+        const auto r = interp.run(*input);
+        EXPECT_FALSE(r.output.empty()) << GetParam();
+        EXPECT_GT(r.dynBranches, 1000u) << GetParam();
+        // Within simulation budget: the suite must stay laptop-scale.
+        EXPECT_LT(r.dynInstrs, 30'000'000u) << GetParam();
+    }
+}
+
+TEST_P(EveryWorkload, DeterministicConstruction)
+{
+    const Workload a = makeByName(GetParam());
+    const Workload b = makeByName(GetParam());
+    EXPECT_EQ(a.program.instrCount(), b.program.instrCount());
+    EXPECT_EQ(a.test.memImage, b.test.memImage);
+    interp::Interpreter ia(a.program), ib(b.program);
+    EXPECT_EQ(ia.run(a.test).output, ib.run(b.test).output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, EveryWorkload, ::testing::ValuesIn(benchmarkNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Workloads, NamesAreUniqueAndComplete)
+{
+    const auto names = benchmarkNames();
+    EXPECT_EQ(names.size(), 14u);
+    std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+    EXPECT_EQ(standardBenchmarks().size(), 14u);
+}
+
+TEST(Workloads, WcCountsMatchHostReference)
+{
+    const Workload w = makeWc();
+    interp::Interpreter interp(w.program);
+    const auto r = interp.run(w.test);
+    ASSERT_EQ(r.output.size(), 3u);
+
+    // Host-side reference word count over the same image.
+    const auto &mem = w.test.memImage;
+    const int64_t n = mem[0];
+    int64_t lines = 0, words = 0, chars = 0;
+    bool inword = false;
+    for (int64_t i = 0; i < n; ++i) {
+        const int64_t c = mem[size_t(1 + i)];
+        ++chars;
+        if (c == ' ' || c == '\n') {
+            inword = false;
+            lines += c == '\n';
+        } else if (!inword) {
+            inword = true;
+            ++words;
+        }
+    }
+    EXPECT_EQ(r.output[0], lines);
+    EXPECT_EQ(r.output[1], words);
+    EXPECT_EQ(r.output[2], chars);
+}
+
+TEST(Workloads, AltPatternIsPeriodicTTTF)
+{
+    // The alt loop must branch T,T,T,F repeatedly: with n = 8 the
+    // taken/total ratio is exactly 6/8 on the pattern branch.
+    const Workload w = makeAlt();
+    interp::ProgramInput in;
+    in.mainArgs = {8};
+    interp::Interpreter interp(w.program);
+    const auto r = interp.run(in);
+    EXPECT_EQ(r.returnValue, r.output.back());
+}
+
+TEST(Workloads, CompressFindsMatches)
+{
+    const Workload w = makeCompress();
+    interp::Interpreter interp(w.program);
+    const auto r = interp.run(w.test);
+    ASSERT_EQ(r.output.size(), 2u);
+    // The dictionary-built input must produce many LZ matches.
+    EXPECT_GT(r.output[1], 1000);
+}
+
+TEST(Workloads, EqntottVerdictsAreBounded)
+{
+    const Workload w = makeEqntott();
+    interp::Interpreter interp(w.program);
+    const auto r = interp.run(w.test);
+    ASSERT_EQ(r.output.size(), 1u);
+    EXPECT_GE(r.output[0], 0); // masked accumulator
+}
+
+TEST(Workloads, VortexInsertsAndValidates)
+{
+    const Workload w = makeVortex();
+    interp::Interpreter interp(w.program);
+    const auto r = interp.run(w.test);
+    ASSERT_EQ(r.output.size(), 2u);
+    EXPECT_GT(r.output[1], 5000); // inserted record count
+}
+
+TEST(Workloads, GccAndGoHaveLargeFootprints)
+{
+    // The miss-rate experiments need footprints beyond the 32KB cache.
+    EXPECT_GT(makeGcc().program.instrCount() * 4, 32u * 1024u);
+    EXPECT_GT(makeGo().program.instrCount() * 4, 24u * 1024u);
+}
+
+TEST(TextUtil, GeneratorsAreSeededAndSized)
+{
+    const auto a = makeText(1, 1000);
+    const auto b = makeText(1, 1000);
+    const auto c = makeText(2, 1000);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.size(), 1000u);
+
+    const auto d = makeCompressibleData(3, 500);
+    EXPECT_EQ(d.size(), 500u);
+    const auto v = makeRandomValues(4, 100, 10);
+    EXPECT_EQ(v.size(), 100u);
+    for (const int64_t x : v) {
+        EXPECT_GE(x, 0);
+        EXPECT_LT(x, 10);
+    }
+}
+
+} // namespace
+} // namespace pathsched::workloads

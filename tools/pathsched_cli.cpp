@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Command-line driver: run any Table-1 workload through any paper
+ * configuration with the machine, cache, and formation knobs exposed,
+ * and print a one-line report per run.  Profiles can be dumped to (or
+ * preloaded from) the text format in profile/serialize.hpp.
+ *
+ * Examples:
+ *   pathsched_cli --workload wc --config P4
+ *   pathsched_cli --workload all --config all --icache
+ *   pathsched_cli --workload gcc --config P4 --depth 7 --latency realistic
+ *   pathsched_cli --workload corr --dump-paths corr.paths
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "interp/interpreter.hpp"
+#include "machine/machine.hpp"
+#include "pipeline/pipeline.hpp"
+#include "profile/serialize.hpp"
+#include "support/logging.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace pathsched;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: pathsched_cli [options]\n"
+        "  --workload NAME|all     Table-1 benchmark (default: all)\n"
+        "  --config CFG|all        BB, M4, M16, P4, P4e (default: all)\n"
+        "  --icache                attach the 32KB direct-mapped cache\n"
+        "  --depth N               path-profile depth in branches "
+        "(default 15)\n"
+        "  --threshold X           enlargement completion threshold\n"
+        "  --max-instrs N          superblock instruction cap\n"
+        "  --latency unit|realistic\n"
+        "  --forward-paths         forward (Ball-Larus-style) windows\n"
+        "  --grow-upward           also grow traces upward\n"
+        "  --no-enlarge            skip the enlargement step\n"
+        "  --no-regalloc           skip register allocation\n"
+        "  --no-ph                 skip Pettis-Hansen placement\n"
+        "  --dump-paths FILE       write the workload's general path\n"
+        "                          profile (training input) to FILE\n"
+        "  --list                  list workloads and exit\n");
+}
+
+bool
+parseConfig(const std::string &s, pipeline::SchedConfig &out)
+{
+    using pipeline::SchedConfig;
+    if (s == "BB")
+        out = SchedConfig::BB;
+    else if (s == "M4")
+        out = SchedConfig::M4;
+    else if (s == "M16")
+        out = SchedConfig::M16;
+    else if (s == "P4")
+        out = SchedConfig::P4;
+    else if (s == "P4e")
+        out = SchedConfig::P4e;
+    else
+        return false;
+    return true;
+}
+
+void
+dumpPaths(const workloads::Workload &w, const std::string &file,
+          const profile::PathProfileParams &params)
+{
+    profile::PathProfiler pp(w.program, params);
+    interp::Interpreter interp(w.program);
+    interp.addListener(&pp);
+    interp.run(w.train);
+    std::ofstream out(file);
+    if (!out)
+        fatal("cannot open '%s' for writing", file.c_str());
+    out << profile::toText(pp);
+    std::printf("wrote %zu distinct paths to %s\n", pp.numPaths(),
+                file.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "all";
+    std::string config = "all";
+    std::string dump_paths;
+    pipeline::PipelineOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("option %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--config") {
+            config = next();
+        } else if (arg == "--icache") {
+            opts.useICache = true;
+        } else if (arg == "--depth") {
+            opts.pathParams.maxBranches = uint32_t(std::stoul(next()));
+        } else if (arg == "--threshold") {
+            opts.completionThreshold = std::stod(next());
+        } else if (arg == "--max-instrs") {
+            opts.maxInstrs = uint32_t(std::stoul(next()));
+        } else if (arg == "--latency") {
+            const std::string v = next();
+            if (v == "unit") {
+                opts.machine = machine::MachineModel::unitLatency();
+            } else if (v == "realistic") {
+                opts.machine = machine::MachineModel::realisticLatency();
+            } else {
+                fatal("unknown latency table '%s'", v.c_str());
+            }
+        } else if (arg == "--forward-paths") {
+            opts.pathParams.forwardPathsOnly = true;
+        } else if (arg == "--grow-upward") {
+            opts.growUpward = true;
+        } else if (arg == "--no-enlarge") {
+            opts.enlarge = false;
+        } else if (arg == "--no-regalloc") {
+            opts.registerAllocate = false;
+        } else if (arg == "--no-ph") {
+            opts.pettisHansen = false;
+        } else if (arg == "--dump-paths") {
+            dump_paths = next();
+        } else if (arg == "--list") {
+            for (const auto &n : workloads::benchmarkNames())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    std::vector<std::string> names;
+    if (workload == "all") {
+        names = workloads::benchmarkNames();
+    } else {
+        names.push_back(workload);
+    }
+
+    std::vector<pipeline::SchedConfig> configs;
+    if (config == "all") {
+        configs = {pipeline::SchedConfig::BB, pipeline::SchedConfig::M4,
+                   pipeline::SchedConfig::M16, pipeline::SchedConfig::P4,
+                   pipeline::SchedConfig::P4e};
+    } else {
+        pipeline::SchedConfig c;
+        if (!parseConfig(config, c))
+            fatal("unknown config '%s'", config.c_str());
+        configs.push_back(c);
+    }
+
+    std::printf("%-8s %-4s %12s %8s %9s %9s %11s\n", "bench", "cfg",
+                "cycles", "miss%", "code(KB)", "sb-exec", "sb-size");
+    for (const auto &name : names) {
+        const auto w = workloads::makeByName(name);
+        if (!dump_paths.empty())
+            dumpPaths(w, dump_paths, opts.pathParams);
+        for (const auto c : configs) {
+            const auto r = pipeline::runPipeline(w.program, w.train,
+                                                 w.test, c, opts);
+            std::printf(
+                "%-8s %-4s %12llu %8.3f %9.1f %9.2f %11.2f\n",
+                name.c_str(), r.name.c_str(),
+                (unsigned long long)r.test.cycles,
+                r.test.icacheAccesses
+                    ? 100.0 * double(r.test.icacheMisses) /
+                          double(r.test.icacheAccesses)
+                    : 0.0,
+                double(r.codeBytes) / 1024.0,
+                r.test.sbAvgBlocksExecuted(),
+                r.test.sbAvgBlocksInSuperblock());
+        }
+    }
+    return 0;
+}
