@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_forward.dir/bench_ablation_forward.cpp.o"
+  "CMakeFiles/bench_ablation_forward.dir/bench_ablation_forward.cpp.o.d"
+  "bench_ablation_forward"
+  "bench_ablation_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

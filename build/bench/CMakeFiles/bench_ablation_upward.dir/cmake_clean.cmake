@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_upward.dir/bench_ablation_upward.cpp.o"
+  "CMakeFiles/bench_ablation_upward.dir/bench_ablation_upward.cpp.o.d"
+  "bench_ablation_upward"
+  "bench_ablation_upward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_upward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

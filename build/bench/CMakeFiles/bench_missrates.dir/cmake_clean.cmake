@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_missrates.dir/bench_missrates.cpp.o"
+  "CMakeFiles/bench_missrates.dir/bench_missrates.cpp.o.d"
+  "bench_missrates"
+  "bench_missrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_bench_common.dir/common.cpp.o"
+  "CMakeFiles/ps_bench_common.dir/common.cpp.o.d"
+  "libps_bench_common.a"
+  "libps_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

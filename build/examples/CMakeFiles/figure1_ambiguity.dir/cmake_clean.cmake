@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_ambiguity.dir/figure1_ambiguity.cpp.o"
+  "CMakeFiles/figure1_ambiguity.dir/figure1_ambiguity.cpp.o.d"
+  "figure1_ambiguity"
+  "figure1_ambiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_ambiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unrolling_study.dir/unrolling_study.cpp.o"
+  "CMakeFiles/unrolling_study.dir/unrolling_study.cpp.o.d"
+  "unrolling_study"
+  "unrolling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unrolling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wc_pipeline.dir/wc_pipeline.cpp.o"
+  "CMakeFiles/wc_pipeline.dir/wc_pipeline.cpp.o.d"
+  "wc_pipeline"
+  "wc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_analysis.dir/callgraph.cpp.o"
+  "CMakeFiles/ps_analysis.dir/callgraph.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/ps_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/liveness.cpp.o"
+  "CMakeFiles/ps_analysis.dir/liveness.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/loops.cpp.o"
+  "CMakeFiles/ps_analysis.dir/loops.cpp.o.d"
+  "libps_analysis.a"
+  "libps_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

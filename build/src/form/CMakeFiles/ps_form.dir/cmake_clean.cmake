@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_form.dir/enlarge.cpp.o"
+  "CMakeFiles/ps_form.dir/enlarge.cpp.o.d"
+  "CMakeFiles/ps_form.dir/form.cpp.o"
+  "CMakeFiles/ps_form.dir/form.cpp.o.d"
+  "CMakeFiles/ps_form.dir/materialize.cpp.o"
+  "CMakeFiles/ps_form.dir/materialize.cpp.o.d"
+  "CMakeFiles/ps_form.dir/select.cpp.o"
+  "CMakeFiles/ps_form.dir/select.cpp.o.d"
+  "libps_form.a"
+  "libps_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_icache.dir/icache.cpp.o"
+  "CMakeFiles/ps_icache.dir/icache.cpp.o.d"
+  "libps_icache.a"
+  "libps_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_ir.dir/builder.cpp.o"
+  "CMakeFiles/ps_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/clone.cpp.o"
+  "CMakeFiles/ps_ir.dir/clone.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/instruction.cpp.o"
+  "CMakeFiles/ps_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/printer.cpp.o"
+  "CMakeFiles/ps_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/procedure.cpp.o"
+  "CMakeFiles/ps_ir.dir/procedure.cpp.o.d"
+  "CMakeFiles/ps_ir.dir/verifier.cpp.o"
+  "CMakeFiles/ps_ir.dir/verifier.cpp.o.d"
+  "libps_ir.a"
+  "libps_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

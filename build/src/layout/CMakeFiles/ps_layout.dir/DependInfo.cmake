@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/code_layout.cpp" "src/layout/CMakeFiles/ps_layout.dir/code_layout.cpp.o" "gcc" "src/layout/CMakeFiles/ps_layout.dir/code_layout.cpp.o.d"
+  "/root/repo/src/layout/pettis_hansen.cpp" "src/layout/CMakeFiles/ps_layout.dir/pettis_hansen.cpp.o" "gcc" "src/layout/CMakeFiles/ps_layout.dir/pettis_hansen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ps_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_layout.dir/code_layout.cpp.o"
+  "CMakeFiles/ps_layout.dir/code_layout.cpp.o.d"
+  "CMakeFiles/ps_layout.dir/pettis_hansen.cpp.o"
+  "CMakeFiles/ps_layout.dir/pettis_hansen.cpp.o.d"
+  "libps_layout.a"
+  "libps_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

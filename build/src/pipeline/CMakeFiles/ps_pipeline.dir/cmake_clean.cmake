@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/ps_pipeline.dir/pipeline.cpp.o.d"
+  "libps_pipeline.a"
+  "libps_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_profile.dir/edge_profile.cpp.o"
+  "CMakeFiles/ps_profile.dir/edge_profile.cpp.o.d"
+  "CMakeFiles/ps_profile.dir/path_profile.cpp.o"
+  "CMakeFiles/ps_profile.dir/path_profile.cpp.o.d"
+  "CMakeFiles/ps_profile.dir/serialize.cpp.o"
+  "CMakeFiles/ps_profile.dir/serialize.cpp.o.d"
+  "libps_profile.a"
+  "libps_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_regalloc.dir/linear_scan.cpp.o"
+  "CMakeFiles/ps_regalloc.dir/linear_scan.cpp.o.d"
+  "libps_regalloc.a"
+  "libps_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/compact.cpp" "src/sched/CMakeFiles/ps_sched.dir/compact.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/compact.cpp.o.d"
+  "/root/repo/src/sched/depgraph.cpp" "src/sched/CMakeFiles/ps_sched.dir/depgraph.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/depgraph.cpp.o.d"
+  "/root/repo/src/sched/exit_live.cpp" "src/sched/CMakeFiles/ps_sched.dir/exit_live.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/exit_live.cpp.o.d"
+  "/root/repo/src/sched/local_opt.cpp" "src/sched/CMakeFiles/ps_sched.dir/local_opt.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/local_opt.cpp.o.d"
+  "/root/repo/src/sched/renamer.cpp" "src/sched/CMakeFiles/ps_sched.dir/renamer.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/renamer.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/ps_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/ps_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ps_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ps_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

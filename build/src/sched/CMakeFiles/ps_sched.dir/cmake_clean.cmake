@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_sched.dir/compact.cpp.o"
+  "CMakeFiles/ps_sched.dir/compact.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/depgraph.cpp.o"
+  "CMakeFiles/ps_sched.dir/depgraph.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/exit_live.cpp.o"
+  "CMakeFiles/ps_sched.dir/exit_live.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/local_opt.cpp.o"
+  "CMakeFiles/ps_sched.dir/local_opt.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/renamer.cpp.o"
+  "CMakeFiles/ps_sched.dir/renamer.cpp.o.d"
+  "CMakeFiles/ps_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/ps_sched.dir/scheduler.cpp.o.d"
+  "libps_sched.a"
+  "libps_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_support.dir/logging.cpp.o"
+  "CMakeFiles/ps_support.dir/logging.cpp.o.d"
+  "CMakeFiles/ps_support.dir/rng.cpp.o"
+  "CMakeFiles/ps_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ps_support.dir/statistics.cpp.o"
+  "CMakeFiles/ps_support.dir/statistics.cpp.o.d"
+  "CMakeFiles/ps_support.dir/strutil.cpp.o"
+  "CMakeFiles/ps_support.dir/strutil.cpp.o.d"
+  "libps_support.a"
+  "libps_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

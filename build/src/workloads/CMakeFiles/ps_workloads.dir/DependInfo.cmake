@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/interpreters.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/interpreters.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/interpreters.cpp.o.d"
+  "/root/repo/src/workloads/micro.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/micro.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/micro.cpp.o.d"
+  "/root/repo/src/workloads/spec_like.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/spec_like.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/spec_like.cpp.o.d"
+  "/root/repo/src/workloads/textutil.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/textutil.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/textutil.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/workloads/CMakeFiles/ps_workloads.dir/workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/ps_workloads.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ps_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/icache/CMakeFiles/ps_icache.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ps_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ps_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

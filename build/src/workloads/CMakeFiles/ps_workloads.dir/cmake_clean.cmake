@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_workloads.dir/interpreters.cpp.o"
+  "CMakeFiles/ps_workloads.dir/interpreters.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/micro.cpp.o"
+  "CMakeFiles/ps_workloads.dir/micro.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/spec_like.cpp.o"
+  "CMakeFiles/ps_workloads.dir/spec_like.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/textutil.cpp.o"
+  "CMakeFiles/ps_workloads.dir/textutil.cpp.o.d"
+  "CMakeFiles/ps_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/ps_workloads.dir/workloads.cpp.o.d"
+  "libps_workloads.a"
+  "libps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/form_test.dir/form_test.cpp.o"
+  "CMakeFiles/form_test.dir/form_test.cpp.o.d"
+  "form_test"
+  "form_test.pdb"
+  "form_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_testutil.dir/testutil.cpp.o"
+  "CMakeFiles/ps_testutil.dir/testutil.cpp.o.d"
+  "libps_testutil.a"
+  "libps_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

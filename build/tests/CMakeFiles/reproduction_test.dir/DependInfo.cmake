@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reproduction_test.cpp" "tests/CMakeFiles/reproduction_test.dir/reproduction_test.cpp.o" "gcc" "tests/CMakeFiles/reproduction_test.dir/reproduction_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/ps_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ps_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/ps_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/form/CMakeFiles/ps_form.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ps_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/ps_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ps_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ps_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ps_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ps_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ps_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/icache/CMakeFiles/ps_icache.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/icache_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/depgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/random_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/form_test[1]_include.cmake")
+include("/root/repo/build/tests/materialize_test[1]_include.cmake")
+include("/root/repo/build/tests/regalloc_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/reproduction_test[1]_include.cmake")
+include("/root/repo/build/tests/diagnostics_test[1]_include.cmake")
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsched_cli.dir/pathsched_cli.cpp.o"
+  "CMakeFiles/pathsched_cli.dir/pathsched_cli.cpp.o.d"
+  "pathsched_cli"
+  "pathsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

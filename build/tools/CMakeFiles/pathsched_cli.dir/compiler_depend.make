@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pathsched_cli.
+# This may be replaced when dependencies are built.
