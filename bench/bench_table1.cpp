@@ -2,7 +2,8 @@
  * @file
  * Regenerates Table 1: per-benchmark binary size and dynamic branch /
  * cycle / instruction counts of the basic-block-scheduled build on the
- * experimental machine model (§3.3).
+ * experimental machine model (§3.3).  Also writes BENCH_table1.json,
+ * the machine-readable row the ROADMAP's perf trajectory tracks.
  */
 
 #include <cstdio>
@@ -16,6 +17,7 @@ int
 main()
 {
     bench::ExperimentRunner runner;
+    bench::JsonReport report("table1");
 
     std::printf("Table 1: benchmarks, data sets, and statistics\n");
     std::printf("(basic-block scheduled, perfect I-cache; counts are "
@@ -31,6 +33,9 @@ main()
                     withCommas(r.test.dynBranches).c_str(),
                     withCommas(r.test.cycles).c_str(),
                     withCommas(r.test.dynInstrs).c_str());
+        report.row(name, r);
     }
+    if (!report.write())
+        std::fprintf(stderr, "warning: could not write BENCH_table1.json\n");
     return 0;
 }

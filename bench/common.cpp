@@ -1,7 +1,10 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <fstream>
 
+#include "obs/json.hpp"
+#include "support/logging.hpp"
 #include "support/statistics.hpp"
 #include "support/strutil.hpp"
 
@@ -78,6 +81,82 @@ printNormalizedTable(
         std::printf("  %10.3f", geomean(values));
     }
     std::printf("\n");
+}
+
+void
+JsonReport::row(const std::string &bench,
+                const pipeline::PipelineResult &r)
+{
+    row(bench, r.name);
+    metric("cycles", double(r.test.cycles));
+    metric("instrs", double(r.test.dynInstrs));
+    metric("branches", double(r.test.dynBranches));
+    metric("codeBytes", double(r.codeBytes));
+    if (r.test.icacheAccesses != 0)
+        metric("missRate", double(r.test.icacheMisses) /
+                               double(r.test.icacheAccesses));
+    metric("sbAvgBlocksExecuted", r.test.sbAvgBlocksExecuted());
+    metric("sbAvgBlocksInSuperblock", r.test.sbAvgBlocksInSuperblock());
+}
+
+void
+JsonReport::row(const std::string &bench, const std::string &config)
+{
+    rows_.push_back({bench, config, {}});
+}
+
+void
+JsonReport::metric(const std::string &key, double value)
+{
+    ps_assert_msg(!rows_.empty(), "JsonReport::metric before any row");
+    for (auto &[k, v] : rows_.back().metrics) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    rows_.back().metrics.emplace_back(key, value);
+}
+
+std::string
+JsonReport::json() const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.member("schema", "pathsched.bench.v1");
+    w.member("bench", name_);
+    w.key("rows");
+    w.beginArray();
+    for (const Row &r : rows_) {
+        w.beginObject();
+        w.member("bench", r.bench);
+        w.member("config", r.config);
+        w.key("metrics");
+        w.beginObject();
+        for (const auto &[k, v] : r.metrics)
+            w.member(k, v);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+JsonReport::write(const std::string &path) const
+{
+    const std::string file =
+        path.empty() ? "BENCH_" + name_ + ".json" : path;
+    std::ofstream out(file);
+    if (!out)
+        return false;
+    out << json() << '\n';
+    if (!out)
+        return false;
+    std::fprintf(stderr, "wrote %zu rows to %s\n", rows_.size(),
+                 file.c_str());
+    return true;
 }
 
 } // namespace pathsched::bench

@@ -19,6 +19,10 @@
 #include "pipeline/pipeline.hpp"
 #include "workloads/workloads.hpp"
 
+namespace pathsched::obs {
+class JsonWriter;
+}
+
 namespace pathsched::bench {
 
 /** Caching (workload, config, cache-on/off) -> PipelineResult runner. */
@@ -55,6 +59,51 @@ void printNormalizedTable(
     const std::string &title,
     const std::vector<std::string> &benchmarks,
     const std::vector<std::pair<std::string, std::vector<double>>> &series);
+
+/**
+ * JSON emitter for the BENCH_*.json trajectory files the ROADMAP
+ * tracks.  Each bench binary creates one, adds a row per measurement,
+ * and writes "BENCH_<name>.json":
+ *
+ *   {"schema":"pathsched.bench.v1", "bench":"table1",
+ *    "rows":[{"bench":"wc","config":"BB","metrics":{"cycles":...}}]}
+ *
+ * Metric keys are free-form; row() seeds the standard pipeline
+ * metrics, metric() adds or overrides one.
+ */
+class JsonReport
+{
+  public:
+    /** @p name is the table/figure tag, e.g. "table1". */
+    explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+    /** Append a row seeded with @p r's standard metrics (cycles,
+     *  instrs, branches, codeBytes, missRate, sb stats). */
+    void row(const std::string &bench, const pipeline::PipelineResult &r);
+
+    /** Append an empty row (config may be a series label). */
+    void row(const std::string &bench, const std::string &config);
+
+    /** Add/override one metric on the most recent row. */
+    void metric(const std::string &key, double value);
+
+    /** The whole report as a JSON document. */
+    std::string json() const;
+
+    /** Write json() to "BENCH_<name>.json" (or @p path when given);
+     *  false on I/O failure.  Prints the destination to stderr. */
+    bool write(const std::string &path = "") const;
+
+  private:
+    struct Row
+    {
+        std::string bench;
+        std::string config;
+        std::vector<std::pair<std::string, double>> metrics;
+    };
+    std::string name_;
+    std::vector<Row> rows_;
+};
 
 } // namespace pathsched::bench
 

@@ -20,6 +20,11 @@ formProgram(ir::Program &prog, const profile::EdgeProfiler *ep,
         ps_assert_msg(pp != nullptr, "path formation needs a path profile");
     }
 
+    // A null observer keeps the timers sink-free (near-zero cost).
+    static const obs::Observer no_obs;
+    const obs::Observer &ob =
+        config.observer != nullptr ? *config.observer : no_obs;
+
     for (auto &proc : prog.procs) {
         ProcFormState state(proc, config);
         std::unique_ptr<FormProfile> profile =
@@ -27,18 +32,26 @@ formProgram(ir::Program &prog, const profile::EdgeProfiler *ep,
                 ? makeEdgeFormProfile(proc, *ep)
                 : makePathFormProfile(proc, *pp);
 
-        selectTraces(state, *profile);
+        {
+            auto t = ob.time("select");
+            selectTraces(state, *profile);
+        }
         stats.tracesSelected += state.traces.size();
         for (const Trace &t : state.traces) {
             if (t.size() >= 2)
                 ++stats.multiBlockTraces;
         }
 
-        if (config.enlarge)
+        if (config.enlarge) {
+            auto t = ob.time("enlarge");
             enlargeTraces(state, *profile, stats);
+        }
 
-        materializeTraces(state, stats);
-        removeUnreachable(proc, stats);
+        {
+            auto t = ob.time("materialize");
+            materializeTraces(state, stats);
+            removeUnreachable(proc, stats);
+        }
         proc.syncSideTables();
     }
 

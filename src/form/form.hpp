@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ir/procedure.hpp"
+#include "obs/timer.hpp"
 #include "profile/edge_profile.hpp"
 #include "profile/path_profile.hpp"
 
@@ -58,6 +59,12 @@ struct FormConfig
      * bench_ablation_upward tests that prediction).
      */
     bool growUpward = false;
+    /**
+     * Optional observability sink: per-procedure select / enlarge /
+     * materialize wall times are sampled through it (the caller picks
+     * the prefix, e.g. "time.P4.form.").  Null disables timing.
+     */
+    const obs::Observer *observer = nullptr;
 };
 
 /** Counters reported by formProgram. */

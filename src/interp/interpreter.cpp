@@ -107,6 +107,13 @@ Interpreter::run(const ProgramInput &input)
 
     uint64_t steps = 0;
 
+    // Listeners that asked for per-op callbacks (see wantsOps()).
+    std::vector<TraceListener *> op_listeners;
+    for (auto *l : listeners_)
+        if (l->wantsOps())
+            op_listeners.push_back(l);
+    const bool dispatch_ops = !op_listeners.empty();
+
     // Charge the cycle cost of leaving `block` at instruction `exit_idx`.
     auto chargeBlock = [&](const ir::Procedure &p, BlockId b,
                            size_t exit_idx) {
@@ -147,6 +154,10 @@ Interpreter::run(const ProgramInput &input)
                 fatal("interpreter exceeded %llu steps",
                       (unsigned long long)opts_.maxSteps);
             ++res.dynInstrs;
+
+            if (dispatch_ops)
+                for (auto *l : op_listeners)
+                    l->onOp(f.proc, ins.op);
 
             if (opts_.cache) {
                 const uint64_t addr =

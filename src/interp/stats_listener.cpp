@@ -1,0 +1,21 @@
+#include "interp/stats_listener.hpp"
+
+namespace pathsched::interp {
+
+void
+StatsListener::flush()
+{
+    if (registry_ == nullptr)
+        return;
+    registry_->addCounter(prefix_ + ".ops", ops_);
+    registry_->addCounter(prefix_ + ".branches", branches_);
+    registry_->addCounter(prefix_ + ".jumps", jumps_);
+    registry_->addCounter(prefix_ + ".calls", calls_);
+    registry_->addCounter(prefix_ + ".rets", rets_);
+    registry_->addCounter(prefix_ + ".mem", mem_);
+    registry_->addCounter(prefix_ + ".edges", edges_);
+    registry_->addCounter(prefix_ + ".procEnters", procEnters_);
+    registry_->addCounter(prefix_ + ".procExits", procExits_);
+}
+
+} // namespace pathsched::interp

@@ -1,0 +1,478 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.hpp"
+#include "support/strutil.hpp"
+
+namespace pathsched::obs {
+
+// --------------------------------------------------------------------
+// Escaping and number formatting
+// --------------------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        return strfmt("%.0f", v);
+    // %.17g round-trips every double; trim to the shortest that does.
+    for (int prec = 15; prec <= 17; ++prec) {
+        const std::string s = strfmt("%.*g", prec, v);
+        if (std::strtod(s.c_str(), nullptr) == v)
+            return s;
+    }
+    return strfmt("%.17g", v);
+}
+
+// --------------------------------------------------------------------
+// JsonWriter
+// --------------------------------------------------------------------
+
+void
+JsonWriter::newline()
+{
+    if (indent_ <= 0)
+        return;
+    out_ += '\n';
+    out_.append(stack_.size() * size_t(indent_), ' ');
+}
+
+void
+JsonWriter::prepareValue()
+{
+    if (stack_.empty()) {
+        ps_assert_msg(out_.empty(), "JsonWriter: multiple root values");
+        return;
+    }
+    if (stack_.back() == Scope::Object) {
+        ps_assert_msg(keyPending_,
+                      "JsonWriter: object value without a key");
+        keyPending_ = false;
+        return;
+    }
+    if (hasItems_.back())
+        out_ += ',';
+    hasItems_.back() = true;
+    newline();
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    ps_assert_msg(!stack_.empty() && stack_.back() == Scope::Object,
+                  "JsonWriter: key() outside an object");
+    ps_assert_msg(!keyPending_, "JsonWriter: two keys in a row");
+    if (hasItems_.back())
+        out_ += ',';
+    hasItems_.back() = true;
+    newline();
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += indent_ > 0 ? "\": " : "\":";
+    keyPending_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    prepareValue();
+    out_ += '{';
+    stack_.push_back(Scope::Object);
+    hasItems_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    ps_assert_msg(!stack_.empty() && stack_.back() == Scope::Object &&
+                      !keyPending_,
+                  "JsonWriter: mismatched endObject()");
+    const bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (had)
+        newline();
+    out_ += '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    prepareValue();
+    out_ += '[';
+    stack_.push_back(Scope::Array);
+    hasItems_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    ps_assert_msg(!stack_.empty() && stack_.back() == Scope::Array,
+                  "JsonWriter: mismatched endArray()");
+    const bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (had)
+        newline();
+    out_ += ']';
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    prepareValue();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    prepareValue();
+    out_ += jsonNumber(v);
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    prepareValue();
+    out_ += strfmt("%llu", (unsigned long long)v);
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    prepareValue();
+    out_ += strfmt("%lld", (long long)v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    prepareValue();
+    out_ += v ? "true" : "false";
+}
+
+void
+JsonWriter::valueNull()
+{
+    prepareValue();
+    out_ += "null";
+}
+
+std::string
+JsonWriter::str() const
+{
+    ps_assert_msg(stack_.empty() && !keyPending_,
+                  "JsonWriter: unbalanced document (%zu open scopes)",
+                  stack_.size());
+    return out_;
+}
+
+// --------------------------------------------------------------------
+// JsonValue parser
+// --------------------------------------------------------------------
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    run(JsonValue &out, std::string *error)
+    {
+        const bool ok = parseValue(out) && (skipWs(), pos_ == text_.size());
+        if (!ok && error)
+            *error = err_.empty()
+                         ? strfmt("trailing garbage at offset %zu", pos_)
+                         : err_;
+        return ok;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err_.empty())
+            err_ = strfmt("%s at offset %zu", what.c_str(), pos_);
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(strfmt("expected '%s'", word));
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.type_ = JsonValue::Type::String;
+            return parseString(out.str_);
+          case 't':
+            out.type_ = JsonValue::Type::Bool;
+            out.bool_ = true;
+            return literal("true");
+          case 'f':
+            out.type_ = JsonValue::Type::Bool;
+            out.bool_ = false;
+            return literal("false");
+          case 'n':
+            out.type_ = JsonValue::Type::Null;
+            return literal("null");
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.type_ = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string k;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(k))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.obj_.emplace(std::move(k), std::move(v));
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.type_ = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.arr_.push_back(std::move(v));
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point; surrogate pairs are
+                // not produced by our writer and are passed through as
+                // individual code units.
+                if (cp < 0x80) {
+                    out += char(cp);
+                } else if (cp < 0x800) {
+                    out += char(0xC0 | (cp >> 6));
+                    out += char(0x80 | (cp & 0x3F));
+                } else {
+                    out += char(0xE0 | (cp >> 12));
+                    out += char(0x80 | ((cp >> 6) & 0x3F));
+                    out += char(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        char *end = nullptr;
+        const std::string tok = text_.substr(start, pos_ - start);
+        out.type_ = JsonValue::Type::Number;
+        out.num_ = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number");
+        return true;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    std::string err_;
+};
+
+bool
+JsonValue::parse(const std::string &text, JsonValue &out,
+                 std::string *error)
+{
+    out = JsonValue();
+    return JsonParser(text).run(out, error);
+}
+
+const JsonValue *
+JsonValue::find(const std::string &k) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    const auto it = obj_.find(k);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+const JsonValue *
+JsonValue::findPath(const std::string &dotted) const
+{
+    const JsonValue *v = this;
+    size_t start = 0;
+    while (v != nullptr && start <= dotted.size()) {
+        const size_t dot = dotted.find('.', start);
+        const std::string part =
+            dotted.substr(start, dot == std::string::npos ? std::string::npos
+                                                          : dot - start);
+        v = v->find(part);
+        if (dot == std::string::npos)
+            return v;
+        start = dot + 1;
+    }
+    return v;
+}
+
+} // namespace pathsched::obs

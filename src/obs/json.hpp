@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Dependency-free JSON support for the observability layer.
+ *
+ * JsonWriter is a streaming, pretty-printing emitter used by the
+ * report writer, the stat registry, and the Chrome trace writer.
+ * JsonValue is a small recursive-descent parser used by tests and
+ * tools that consume the reports (round-trip guards, BENCH_*.json
+ * trajectory checks).  Neither aims to be a general JSON library;
+ * both cover exactly RFC 8259 as far as the reports need it.
+ */
+
+#ifndef PATHSCHED_OBS_JSON_HPP
+#define PATHSCHED_OBS_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pathsched::obs {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** Render a double the way the reports do (shortest round-trippable,
+ *  "null" for non-finite values, integral values without exponent). */
+std::string jsonNumber(double v);
+
+/**
+ * Streaming JSON emitter with bracket matching and comma insertion.
+ *
+ * Usage:
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("cycles"); w.value(uint64_t(42));
+ *   w.key("stages"); w.beginArray(); ... w.endArray();
+ *   w.endObject();
+ *   std::string text = w.str();
+ *
+ * Misuse (value without key inside an object, unbalanced brackets at
+ * str()) panics — report-writer bugs, not user errors.
+ */
+class JsonWriter
+{
+  public:
+    /** @p indent spaces per nesting level; 0 emits compact JSON. */
+    explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object member key; the next value() attaches to it. */
+    void key(const std::string &k);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(uint64_t v);
+    void value(int64_t v);
+    void value(int v) { value(int64_t(v)); }
+    void value(bool v);
+    void valueNull();
+
+    /** Shorthand for key(k) followed by value(v). */
+    template <typename T>
+    void
+    member(const std::string &k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Finish and return the document; panics on unbalanced brackets. */
+    std::string str() const;
+
+  private:
+    enum class Scope { Object, Array };
+    void prepareValue();
+    void newline();
+
+    std::string out_;
+    std::vector<Scope> stack_;
+    std::vector<bool> hasItems_;
+    bool keyPending_ = false;
+    int indent_;
+};
+
+/**
+ * Parsed JSON document node.  Objects preserve insertion order is not
+ * required by the consumers, so members live in a std::map.
+ */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    /** Parse @p text; returns false and sets @p error on bad input. */
+    static bool parse(const std::string &text, JsonValue &out,
+                      std::string *error = nullptr);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    const std::string &asString() const { return str_; }
+    const std::vector<JsonValue> &items() const { return arr_; }
+    const std::map<std::string, JsonValue> &members() const { return obj_; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &k) const;
+
+    /** Dotted-path lookup through nested objects, e.g. "test.cycles". */
+    const JsonValue *findPath(const std::string &dotted) const;
+
+  private:
+    friend class JsonParser;
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+} // namespace pathsched::obs
+
+#endif // PATHSCHED_OBS_JSON_HPP

@@ -1,0 +1,181 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "support/logging.hpp"
+#include "support/strutil.hpp"
+
+namespace pathsched::obs {
+
+Stat &
+StatRegistry::at(const std::string &path, Stat::Kind kind)
+{
+    ps_assert_msg(!path.empty(), "StatRegistry: empty stat path");
+    auto [it, inserted] = stats_.try_emplace(path);
+    if (inserted)
+        it->second.kind = kind;
+    else
+        ps_assert_msg(it->second.kind == kind,
+                      "StatRegistry: '%s' re-registered with a different "
+                      "kind",
+                      path.c_str());
+    return it->second;
+}
+
+void
+StatRegistry::addCounter(const std::string &path, uint64_t delta)
+{
+    at(path, Stat::Kind::Counter).counter += delta;
+}
+
+void
+StatRegistry::setGauge(const std::string &path, double value)
+{
+    at(path, Stat::Kind::Gauge).gauge = value;
+}
+
+void
+StatRegistry::addSample(const std::string &path, double sample)
+{
+    at(path, Stat::Kind::Distribution).dist.add(sample);
+}
+
+const Stat *
+StatRegistry::find(const std::string &path) const
+{
+    const auto it = stats_.find(path);
+    return it == stats_.end() ? nullptr : &it->second;
+}
+
+uint64_t
+StatRegistry::counter(const std::string &path) const
+{
+    const Stat *s = find(path);
+    return s != nullptr && s->kind == Stat::Kind::Counter ? s->counter : 0;
+}
+
+void
+StatRegistry::merge(const StatRegistry &other)
+{
+    for (const auto &[path, stat] : other.stats_) {
+        Stat &mine = at(path, stat.kind);
+        switch (stat.kind) {
+          case Stat::Kind::Counter: mine.counter += stat.counter; break;
+          case Stat::Kind::Gauge: mine.gauge = stat.gauge; break;
+          case Stat::Kind::Distribution: mine.dist.merge(stat.dist); break;
+        }
+    }
+}
+
+namespace {
+
+void
+writeStatValue(JsonWriter &w, const Stat &s)
+{
+    switch (s.kind) {
+      case Stat::Kind::Counter:
+        w.value(s.counter);
+        break;
+      case Stat::Kind::Gauge:
+        w.value(s.gauge);
+        break;
+      case Stat::Kind::Distribution:
+        w.beginObject();
+        w.member("count", s.dist.count());
+        w.member("sum", s.dist.sum());
+        w.member("mean", s.dist.mean());
+        w.member("min", s.dist.min());
+        w.member("max", s.dist.max());
+        w.member("stddev", s.dist.stddev());
+        w.endObject();
+        break;
+    }
+}
+
+/** The dotted paths form a trie; emit it as nested objects. */
+struct Node
+{
+    const Stat *leaf = nullptr;
+    std::string path;
+    std::map<std::string, Node> children;
+};
+
+void
+writeNode(JsonWriter &w, const Node &n)
+{
+    if (n.leaf != nullptr) {
+        ps_assert_msg(n.children.empty(),
+                      "StatRegistry: '%s' is both a leaf and a prefix "
+                      "of '%s'",
+                      n.path.c_str(),
+                      n.children.begin()->second.path.c_str());
+        writeStatValue(w, *n.leaf);
+        return;
+    }
+    w.beginObject();
+    for (const auto &[name, child] : n.children) {
+        w.key(name);
+        writeNode(w, child);
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+StatRegistry::toJson(JsonWriter &w) const
+{
+    Node root;
+    for (const auto &[path, stat] : stats_) {
+        Node *n = &root;
+        size_t start = 0;
+        while (true) {
+            const size_t dot = path.find('.', start);
+            if (dot == std::string::npos) {
+                n = &n->children[path.substr(start)];
+                break;
+            }
+            n = &n->children[path.substr(start, dot - start)];
+            n->path = path.substr(0, dot);
+            start = dot + 1;
+        }
+        n->leaf = &stat;
+        n->path = path;
+    }
+    writeNode(w, root);
+}
+
+std::string
+StatRegistry::toText() const
+{
+    size_t width = 0;
+    for (const auto &[path, stat] : stats_) {
+        (void)stat;
+        width = std::max(width, path.size());
+    }
+    std::string out;
+    for (const auto &[path, stat] : stats_) {
+        out += padRight(path, width + 2);
+        switch (stat.kind) {
+          case Stat::Kind::Counter:
+            out += withCommas(stat.counter);
+            break;
+          case Stat::Kind::Gauge:
+            out += strfmt("%g", stat.gauge);
+            break;
+          case Stat::Kind::Distribution:
+            out += strfmt("mean %.3f  min %.3f  max %.3f  "
+                          "stddev %.3f  (n=%llu)",
+                          stat.dist.mean(), stat.dist.min(),
+                          stat.dist.max(), stat.dist.stddev(),
+                          (unsigned long long)stat.dist.count());
+            break;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace pathsched::obs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Hierarchical statistics registry.
+ *
+ * Every stat is identified by a dotted path ("form.P4.superblocks",
+ * "time.P4.compact.presched") and is one of three kinds, mirroring
+ * gem5's stat taxonomy at the scale this project needs:
+ *
+ *  - counter: monotonically accumulated uint64 (events, items);
+ *  - gauge:   last-written double (sizes, ratios, configuration);
+ *  - distribution: RunningStat over samples (per-procedure pass
+ *    times, per-run measurements) with mean/min/max/stddev.
+ *
+ * The registry is flat internally (a sorted map keyed by path) and
+ * hierarchical at the edges: toJson() nests objects along the dots, so
+ * "form.P4.superblocks" serializes as {"form":{"P4":{"superblocks":N}}}.
+ * A path must not be both a leaf and a prefix of another path.
+ */
+
+#ifndef PATHSCHED_OBS_STATS_HPP
+#define PATHSCHED_OBS_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/statistics.hpp"
+
+namespace pathsched::obs {
+
+class JsonWriter;
+
+/** One named statistic. */
+struct Stat
+{
+    enum class Kind { Counter, Gauge, Distribution };
+    Kind kind = Kind::Counter;
+    uint64_t counter = 0;
+    double gauge = 0;
+    RunningStat dist;
+};
+
+class StatRegistry
+{
+  public:
+    /** Accumulate @p delta into the counter at @p path. */
+    void addCounter(const std::string &path, uint64_t delta);
+
+    /** Set the gauge at @p path (last write wins). */
+    void setGauge(const std::string &path, double value);
+
+    /** Fold @p sample into the distribution at @p path. */
+    void addSample(const std::string &path, double sample);
+
+    /** Lookup; nullptr when @p path is absent. */
+    const Stat *find(const std::string &path) const;
+
+    /** Convenience: counter value, 0 when absent. */
+    uint64_t counter(const std::string &path) const;
+
+    /**
+     * Fold @p other into this registry: counters add, gauges take the
+     * other's value, distributions merge.  Kind mismatches on the same
+     * path panic.
+     */
+    void merge(const StatRegistry &other);
+
+    bool empty() const { return stats_.empty(); }
+    size_t size() const { return stats_.size(); }
+    const std::map<std::string, Stat> &all() const { return stats_; }
+
+    /** Emit the registry as one nested JSON object value. */
+    void toJson(JsonWriter &w) const;
+
+    /** Flat, aligned text dump (one "path  value" line per stat). */
+    std::string toText() const;
+
+  private:
+    Stat &at(const std::string &path, Stat::Kind kind);
+
+    std::map<std::string, Stat> stats_;
+};
+
+} // namespace pathsched::obs
+
+#endif // PATHSCHED_OBS_STATS_HPP

@@ -1,0 +1,145 @@
+#include "obs/timer.hpp"
+
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace pathsched::obs {
+
+using Clock = std::chrono::steady_clock;
+
+// --------------------------------------------------------------------
+// StageTrace
+// --------------------------------------------------------------------
+
+uint64_t
+StageTrace::nowUs() const
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - origin_)
+                        .count());
+}
+
+void
+StageTrace::record(const std::string &name, uint64_t ts_us,
+                   uint64_t dur_us)
+{
+    events_.push_back({name, ts_us, dur_us});
+}
+
+std::string
+StageTrace::toChromeTrace() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (const Event &e : events_) {
+        w.beginObject();
+        w.member("name", e.name);
+        w.member("cat", "pathsched");
+        w.member("ph", "X");
+        w.member("ts", e.tsUs);
+        w.member("dur", e.durUs);
+        w.member("pid", 1);
+        w.member("tid", 1);
+        w.endObject();
+    }
+    w.endArray();
+    w.member("displayTimeUnit", "ms");
+    w.endObject();
+    return w.str();
+}
+
+bool
+StageTrace::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toChromeTrace() << '\n';
+    return bool(out);
+}
+
+// --------------------------------------------------------------------
+// ScopedTimer
+// --------------------------------------------------------------------
+
+ScopedTimer::ScopedTimer(std::string name, StatRegistry *stats,
+                         StageTrace *trace, std::vector<StageTiming> *out)
+    : name_(std::move(name)), stats_(stats), trace_(trace), out_(out),
+      start_(Clock::now())
+{
+    if (trace_ != nullptr)
+        traceStartUs_ = trace_->nowUs();
+}
+
+double
+ScopedTimer::elapsedMs() const
+{
+    if (stopped_)
+        return stoppedMs_;
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start_)
+        .count();
+}
+
+void
+ScopedTimer::stop()
+{
+    if (stopped_)
+        return;
+    stoppedMs_ = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                           start_)
+                     .count();
+    stopped_ = true;
+    if (out_ != nullptr)
+        out_->push_back({name_, stoppedMs_});
+    if (stats_ != nullptr)
+        stats_->addSample(name_, stoppedMs_);
+    if (trace_ != nullptr)
+        trace_->record(name_, traceStartUs_,
+                       uint64_t(stoppedMs_ * 1000.0));
+}
+
+// --------------------------------------------------------------------
+// Observer
+// --------------------------------------------------------------------
+
+Observer
+Observer::withPrefix(const std::string &more) const
+{
+    Observer o = *this;
+    o.prefix += more;
+    return o;
+}
+
+ScopedTimer
+Observer::time(const std::string &name,
+               std::vector<StageTiming> *out) const
+{
+    return ScopedTimer(prefix + name, stats, trace, out);
+}
+
+void
+Observer::addCounter(const std::string &name, uint64_t delta) const
+{
+    if (stats != nullptr)
+        stats->addCounter(prefix + name, delta);
+}
+
+void
+Observer::setGauge(const std::string &name, double value) const
+{
+    if (stats != nullptr)
+        stats->setGauge(prefix + name, value);
+}
+
+void
+Observer::addSample(const std::string &name, double sample) const
+{
+    if (stats != nullptr)
+        stats->addSample(prefix + name, sample);
+}
+
+} // namespace pathsched::obs

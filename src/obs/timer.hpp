@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Wall-clock stage timing and Chrome-trace emission.
+ *
+ * ScopedTimer is an RAII stopwatch that, on destruction (or stop()),
+ * delivers its elapsed time to any combination of sinks: a
+ * StatRegistry distribution, a StageTrace event, and/or a plain
+ * StageTiming vector.  All sinks are optional, so a timer with no
+ * sinks costs two steady_clock reads and nothing else — observability
+ * off is effectively free.
+ *
+ * StageTrace accumulates complete ("ph":"X") events and serializes
+ * them in the Chrome trace_event JSON format, loadable in
+ * chrome://tracing or https://ui.perfetto.dev.  Nesting falls out of
+ * event containment: an event wholly inside another renders as its
+ * child.
+ *
+ * Observer bundles the two sinks plus a dotted-path prefix and is the
+ * handle the pipeline threads through passes (FormConfig,
+ * CompactOptions, PipelineOptions).  Every method is null-safe, so
+ * pass code never checks for "observability on".
+ */
+
+#ifndef PATHSCHED_OBS_TIMER_HPP
+#define PATHSCHED_OBS_TIMER_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace pathsched::obs {
+
+/** One named wall-time measurement, in milliseconds. */
+struct StageTiming
+{
+    std::string name;
+    double ms = 0;
+};
+
+/** Chrome trace_event collector. */
+class StageTrace
+{
+  public:
+    struct Event
+    {
+        std::string name;
+        uint64_t tsUs = 0;  ///< start, microseconds from trace creation
+        uint64_t durUs = 0; ///< duration, microseconds
+    };
+
+    StageTrace() : origin_(std::chrono::steady_clock::now()) {}
+
+    /** Microseconds elapsed since this trace was created. */
+    uint64_t nowUs() const;
+
+    void record(const std::string &name, uint64_t ts_us, uint64_t dur_us);
+
+    const std::vector<Event> &events() const { return events_; }
+
+    /** The whole trace as a Chrome trace_event JSON document. */
+    std::string toChromeTrace() const;
+
+    /** Write toChromeTrace() to @p path; false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::chrono::steady_clock::time_point origin_;
+    std::vector<Event> events_;
+};
+
+/** RAII stopwatch; see the file comment. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(std::string name, StatRegistry *stats = nullptr,
+                         StageTrace *trace = nullptr,
+                         std::vector<StageTiming> *out = nullptr);
+    ~ScopedTimer() { stop(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Deliver the measurement to the sinks; idempotent. */
+    void stop();
+
+    /** Elapsed milliseconds so far (or at stop() once stopped). */
+    double elapsedMs() const;
+
+  private:
+    std::string name_;
+    StatRegistry *stats_;
+    StageTrace *trace_;
+    std::vector<StageTiming> *out_;
+    std::chrono::steady_clock::time_point start_;
+    uint64_t traceStartUs_ = 0;
+    bool stopped_ = false;
+    double stoppedMs_ = 0;
+};
+
+/** Null-safe bundle of stat/trace sinks with a dotted-name prefix. */
+struct Observer
+{
+    StatRegistry *stats = nullptr;
+    StageTrace *trace = nullptr;
+    /** Prepended to every stat path and event name, e.g. "time.P4.". */
+    std::string prefix;
+
+    /** A copy of this observer with @p more appended to the prefix. */
+    Observer withPrefix(const std::string &more) const;
+
+    /** Start a timer for prefix+name (sinks may be null). */
+    ScopedTimer time(const std::string &name,
+                     std::vector<StageTiming> *out = nullptr) const;
+
+    void addCounter(const std::string &name, uint64_t delta) const;
+    void setGauge(const std::string &name, double value) const;
+    void addSample(const std::string &name, double sample) const;
+};
+
+} // namespace pathsched::obs
+
+#endif // PATHSCHED_OBS_TIMER_HPP

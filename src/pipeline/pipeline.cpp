@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.hpp"
 
 #include "analysis/callgraph.hpp"
+#include "interp/stats_listener.hpp"
 #include "ir/verifier.hpp"
 #include "layout/code_layout.hpp"
 #include "layout/pettis_hansen.hpp"
@@ -8,6 +9,15 @@
 #include "support/logging.hpp"
 
 namespace pathsched::pipeline {
+
+double
+PipelineResult::totalMs() const
+{
+    double total = 0;
+    for (const auto &s : stages)
+        total += s.ms;
+    return total;
+}
 
 const char *
 configName(SchedConfig config)
@@ -64,12 +74,23 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     result.name = configName(config);
     ir::verifyOrDie(program, ir::VerifyMode::Strict);
 
+    // Observability: "timed" carries the "time.<config>." prefix for
+    // stage stopwatches; counters register as <stage>.<config>.<name>.
+    const obs::Observer base =
+        options.observer != nullptr ? *options.observer : obs::Observer();
+    const obs::Observer timed =
+        base.withPrefix("time." + result.name + ".");
+    const std::string cfg_dot = "." + result.name + ".";
+    const bool want_interp_stats =
+        options.interpStats && base.stats != nullptr;
+
     // --- 1. Training run on the original program: gather profiles and
     //        dynamic call counts for procedure placement. ---
     profile::EdgeProfiler edge_profile(program);
     profile::PathProfiler path_profile(program, options.pathParams);
     interp::RunResult train_run;
     {
+        auto t = timed.time("train");
         interp::InterpOptions iopts;
         iopts.maxSteps = options.maxSteps;
         iopts.collectCallCounts = true;
@@ -82,62 +103,156 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
             interp.addListener(&edge_profile);
         if (need_path)
             interp.addListener(&path_profile);
+        interp::StatsListener istats(base.stats,
+                                     "interp" + cfg_dot + "train");
+        if (want_interp_stats)
+            interp.addListener(&istats);
         train_run = interp.run(train);
+        if (want_interp_stats)
+            istats.flush();
         if (need_path) {
             path_profile.finalize();
             result.numPaths = path_profile.numPaths();
         }
+        t.stop();
+        result.stages.push_back({"train", t.elapsedMs()});
     }
     result.trainSteps = train_run.dynInstrs;
+    base.addCounter("profile" + cfg_dot + "trainSteps",
+                    train_run.dynInstrs);
+    base.addCounter("profile" + cfg_dot + "paths", result.numPaths);
 
     // --- 2. Transform a copy of the program. ---
     ir::Program prog = program;
     if (config != SchedConfig::BB) {
+        // ".total" keeps the stage stopwatch a sibling of the
+        // sub-stage distributions ("time.P4.form.select", ...).
+        auto t = timed.time("form.total");
+        form::FormConfig fc = formConfigFor(config, options);
+        const obs::Observer form_obs = timed.withPrefix("form.");
+        fc.observer = &form_obs;
         result.form = form::formProgram(prog, &edge_profile, &path_profile,
-                                        formConfigFor(config, options));
+                                        fc);
+        t.stop();
+        result.stages.push_back({"form", t.elapsedMs()});
+        base.addCounter("form" + cfg_dot + "tracesSelected",
+                        result.form.tracesSelected);
+        base.addCounter("form" + cfg_dot + "multiBlockTraces",
+                        result.form.multiBlockTraces);
+        base.addCounter("form" + cfg_dot + "superblocks",
+                        result.form.superblocksFormed);
+        base.addCounter("form" + cfg_dot + "enlarged",
+                        result.form.enlargedSuperblocks);
+        base.addCounter("form" + cfg_dot + "blocksDuplicated",
+                        result.form.blocksDuplicated);
+        base.addCounter("form" + cfg_dot + "unreachableRemoved",
+                        result.form.unreachableRemoved);
     }
 
     // --- 3. Compact: local opt + renaming + preschedule. ---
-    sched::CompactOptions copts;
-    copts.priority = options.schedPriority;
-    result.compact = sched::compactProgram(prog, options.machine, copts);
+    {
+        auto t = timed.time("compact.total");
+        sched::CompactOptions copts;
+        copts.priority = options.schedPriority;
+        const obs::Observer compact_obs = timed.withPrefix("compact.");
+        copts.observer = &compact_obs;
+        result.compact = sched::compactProgram(prog, options.machine,
+                                               copts);
+        t.stop();
+        result.stages.push_back({"compact", t.elapsedMs()});
+        base.addCounter("compact" + cfg_dot + "copiesPropagated",
+                        result.compact.opt.copiesPropagated);
+        base.addCounter("compact" + cfg_dot + "deadRemoved",
+                        result.compact.opt.deadRemoved);
+        base.addCounter("compact" + cfg_dot + "defsRenamed",
+                        result.compact.rename.defsRenamed);
+        base.addCounter("compact" + cfg_dot + "stubsCreated",
+                        result.compact.rename.stubsCreated);
+        base.addCounter("compact" + cfg_dot + "loadsSpeculated",
+                        result.compact.sched.loadsSpeculated);
+    }
 
     // --- 4. Register allocation and postschedule. ---
     if (options.registerAllocate) {
-        result.alloc =
-            regalloc::allocateProgram(prog, options.machine.numRegs);
-        result.compact.sched = sched::scheduleProgram(
-            prog, options.machine, options.schedPriority);
+        {
+            auto t = timed.time("regalloc");
+            result.alloc =
+                regalloc::allocateProgram(prog, options.machine.numRegs);
+            t.stop();
+            result.stages.push_back({"regalloc", t.elapsedMs()});
+        }
+        base.addCounter("alloc" + cfg_dot + "regsSpilled",
+                        result.alloc.regsSpilled);
+        base.setGauge("alloc" + cfg_dot + "maxPressure",
+                      result.alloc.maxPressure);
+        {
+            auto t = timed.time("postsched");
+            result.compact.sched = sched::scheduleProgram(
+                prog, options.machine, options.schedPriority);
+            t.stop();
+            result.stages.push_back({"postsched", t.elapsedMs()});
+        }
     }
     ir::verifyOrDie(prog, ir::VerifyMode::Superblock);
 
     // --- 5. Procedure placement and address assignment. ---
     layout::CodeLayout code_layout;
-    if (options.pettisHansen) {
-        analysis::CallGraph cg(prog);
-        for (const auto &[edge, count] : train_run.callCounts)
-            cg.addWeight(edge.first, edge.second, count);
-        code_layout = layout::layoutProgram(
-            prog, layout::pettisHansenOrder(cg), options.blockOrder);
-    } else {
-        code_layout = layout::layoutProgram(prog, {}, options.blockOrder);
+    {
+        auto t = timed.time("layout");
+        if (options.pettisHansen) {
+            analysis::CallGraph cg(prog);
+            for (const auto &[edge, count] : train_run.callCounts)
+                cg.addWeight(edge.first, edge.second, count);
+            code_layout = layout::layoutProgram(
+                prog, layout::pettisHansenOrder(cg), options.blockOrder);
+        } else {
+            code_layout =
+                layout::layoutProgram(prog, {}, options.blockOrder);
+        }
+        t.stop();
+        result.stages.push_back({"layout", t.elapsedMs()});
     }
     result.codeBytes = code_layout.totalBytes;
+    base.setGauge("layout" + cfg_dot + "codeBytes",
+                  double(result.codeBytes));
 
-    // --- 6. Measured test run of the transformed program. ---
+    // --- 6. Measured test run of the transformed program (the I-cache
+    //        simulation when options.useICache is set). ---
     icache::ICache cache(options.cacheParams);
     {
+        auto t = timed.time("test");
         interp::InterpOptions iopts;
         iopts.maxSteps = options.maxSteps;
         iopts.codeLayout = &code_layout;
         if (options.useICache)
             iopts.cache = &cache;
         interp::Interpreter interp(prog, iopts);
+        interp::StatsListener istats(base.stats,
+                                     "interp" + cfg_dot + "test");
+        if (want_interp_stats)
+            interp.addListener(&istats);
         result.test = interp.run(test);
+        if (want_interp_stats)
+            istats.flush();
+        t.stop();
+        result.stages.push_back({"test", t.elapsedMs()});
+    }
+    base.addCounter("test" + cfg_dot + "cycles", result.test.cycles);
+    base.addCounter("test" + cfg_dot + "instrs", result.test.dynInstrs);
+    base.addCounter("test" + cfg_dot + "branches",
+                    result.test.dynBranches);
+    if (options.useICache) {
+        base.addCounter("test" + cfg_dot + "icacheAccesses",
+                        result.test.icacheAccesses);
+        base.addCounter("test" + cfg_dot + "icacheMisses",
+                        result.test.icacheMisses);
+        base.addCounter("test" + cfg_dot + "stallCycles",
+                        result.test.stallCycles);
     }
 
     // --- 7. Semantic check against the original program. ---
     {
+        auto t = timed.time("verify");
         interp::InterpOptions iopts;
         iopts.maxSteps = options.maxSteps;
         interp::Interpreter interp(program, iopts);
@@ -145,6 +260,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         result.outputMatches =
             ref.output == result.test.output &&
             ref.returnValue == result.test.returnValue;
+        t.stop();
+        result.stages.push_back({"verify", t.elapsedMs()});
         ps_assert_msg(result.outputMatches,
                       "config %s changed program behaviour "
                       "(%zu vs %zu output values, return %lld vs %lld)",

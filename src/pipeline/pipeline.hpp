@@ -16,12 +16,15 @@
 
 #include <string>
 
+#include <vector>
+
 #include "form/form.hpp"
 #include "icache/icache.hpp"
 #include "layout/code_layout.hpp"
 #include "interp/interpreter.hpp"
 #include "ir/procedure.hpp"
 #include "machine/machine.hpp"
+#include "obs/timer.hpp"
 #include "profile/path_profile.hpp"
 #include "regalloc/linear_scan.hpp"
 #include "sched/compact.hpp"
@@ -69,6 +72,23 @@ struct PipelineOptions
         sched::SchedPriority::CriticalPath;
     /** Interpreter step ceiling. */
     uint64_t maxSteps = 4'000'000'000ULL;
+
+    /** @name Observability (see docs/observability.md)
+     *
+     * With an observer attached, every stage registers its counters
+     * ("<stage>.<config>.<counter>", e.g. "form.P4.superblocks") and
+     * wall-time distributions ("time.<config>.<stage>") into
+     * observer->stats, and emits trace events into observer->trace.
+     * Both sinks are optional; a null observer costs nothing beyond
+     * the per-stage clock reads that fill PipelineResult::stages.
+     * @{
+     */
+    const obs::Observer *observer = nullptr;
+    /** Attach interp::StatsListener to the train and test runs
+     *  ("interp.<config>.{train,test}.*").  Slows the interpreter by a
+     *  per-op callback, so keep off for timing-sensitive runs. */
+    bool interpStats = false;
+    /** @} */
 };
 
 /** Measurements from one (program, config) pipeline run. */
@@ -86,6 +106,13 @@ struct PipelineResult
     size_t numPaths = 0;      ///< distinct paths in the train profile
     uint64_t trainSteps = 0;  ///< dynamic ops in the training run
     bool outputMatches = false; ///< transformed output == original output
+
+    /** Wall time of every pipeline stage, in execution order (always
+     *  collected; independent of PipelineOptions::observer). */
+    std::vector<obs::StageTiming> stages;
+
+    /** Total wall time across stages, ms. */
+    double totalMs() const;
 };
 
 /** Derive the FormConfig a SchedConfig stands for. */

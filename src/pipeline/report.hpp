@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Machine-readable pipeline reports.
+ *
+ * Serializes PipelineResult trees (plus an optional StatRegistry) into
+ * the JSON document pathsched_cli --json emits and the BENCH_*.json
+ * trajectory files build on.  The document shape is versioned through
+ * the "schema" member; tests/report_test.cpp round-trips it and guards
+ * the members external tooling depends on ("runs[*].workload",
+ * "runs[*].config", "runs[*].test.cycles").
+ */
+
+#ifndef PATHSCHED_PIPELINE_REPORT_HPP
+#define PATHSCHED_PIPELINE_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/stats.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace pathsched::pipeline {
+
+/** The report's schema tag ("schema" member of the document). */
+extern const char kReportSchema[];
+
+/** One (workload, result) row of a report. */
+struct ReportRun
+{
+    std::string workload;
+    PipelineResult result;
+};
+
+/** Serialize one PipelineResult as a JSON object into @p w. */
+void resultToJson(obs::JsonWriter &w, const std::string &workload,
+                  const PipelineResult &r);
+
+/**
+ * Build the full report document: {"schema": ..., "runs": [...],
+ * "stats": {...}}.  @p stats may be null (the member is omitted).
+ */
+std::string reportJson(const std::vector<ReportRun> &runs,
+                       const obs::StatRegistry *stats = nullptr);
+
+/** Write reportJson() to @p path ("-" means stdout); false on I/O
+ *  failure. */
+bool writeReportFile(const std::string &path,
+                     const std::vector<ReportRun> &runs,
+                     const obs::StatRegistry *stats = nullptr);
+
+} // namespace pathsched::pipeline
+
+#endif // PATHSCHED_PIPELINE_REPORT_HPP

@@ -1,5 +1,6 @@
 #include "sched/compact.hpp"
 
+#include <chrono>
 #include <memory>
 
 #include "analysis/liveness.hpp"
@@ -10,6 +11,15 @@ CompactStats
 compactProgram(ir::Program &prog, const machine::MachineModel &mm,
                const CompactOptions &options)
 {
+    using Clock = std::chrono::steady_clock;
+    static const obs::Observer no_obs;
+    const obs::Observer &ob =
+        options.observer != nullptr ? *options.observer : no_obs;
+    // Local opt and renaming interleave per block, so their times are
+    // accumulated across the block loop and sampled once per procedure
+    // (as distributions only; intervals would overlap in a trace).
+    const bool timed = ob.stats != nullptr;
+
     CompactStats stats;
     for (auto &proc : prog.procs) {
         proc.syncSideTables();
@@ -18,19 +28,43 @@ compactProgram(ir::Program &prog, const machine::MachineModel &mm,
         // exist now.  Renaming appends stub blocks, which must not be
         // re-processed (they are already minimal).
         const size_t original_blocks = proc.blocks.size();
+        double opt_ms = 0, rename_ms = 0;
         {
             analysis::Liveness live(proc);
             for (ir::BlockId b = 0; b < original_blocks; ++b) {
-                if (options.localOpt)
+                if (options.localOpt) {
+                    const auto t0 = timed ? Clock::now()
+                                          : Clock::time_point();
                     stats.opt += optimizeBlock(proc, b, live);
-                if (options.rename)
+                    if (timed)
+                        opt_ms += std::chrono::duration<double,
+                                                        std::milli>(
+                                      Clock::now() - t0)
+                                      .count();
+                }
+                if (options.rename) {
+                    const auto t0 = timed ? Clock::now()
+                                          : Clock::time_point();
                     stats.rename += renameBlock(proc, b, live);
+                    if (timed)
+                        rename_ms += std::chrono::duration<double,
+                                                           std::milli>(
+                                         Clock::now() - t0)
+                                         .count();
+                }
             }
+        }
+        if (timed) {
+            if (options.localOpt)
+                ob.addSample("localopt", opt_ms);
+            if (options.rename)
+                ob.addSample("rename", rename_ms);
         }
         proc.syncSideTables();
 
         // Phase 2: liveness over the renamed procedure (fresh registers
         // and stubs included), then schedule everything.
+        auto t = ob.time("presched");
         analysis::Liveness live(proc);
         for (ir::BlockId b = 0; b < proc.blocks.size(); ++b)
             stats.sched += scheduleBlock(proc, b, live, mm,

@@ -16,6 +16,7 @@
 
 #include "ir/procedure.hpp"
 #include "machine/machine.hpp"
+#include "obs/timer.hpp"
 #include "sched/local_opt.hpp"
 #include "sched/renamer.hpp"
 #include "sched/scheduler.hpp"
@@ -28,6 +29,12 @@ struct CompactOptions
     bool localOpt = true;
     bool rename = true;
     SchedPriority priority = SchedPriority::CriticalPath;
+    /**
+     * Optional observability sink: per-procedure local-opt / rename /
+     * preschedule wall times are sampled through it (the caller picks
+     * the prefix, e.g. "time.P4.compact.").  Null disables timing.
+     */
+    const obs::Observer *observer = nullptr;
 };
 
 /** Aggregated counters from compactProgram. */

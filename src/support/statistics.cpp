@@ -19,12 +19,30 @@ RunningStat::add(double x)
     }
     ++count_;
     sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / double(count_);
+    m2_ += delta * (x - mean_);
 }
 
-double
-RunningStat::mean() const
+void
+RunningStat::merge(const RunningStat &other)
 {
-    return count_ == 0 ? 0.0 : sum_ / double(count_);
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    const double delta = other.mean_ - mean_;
+    const double na = double(count_), nb = double(other.count_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
 }
 
 double
@@ -37,6 +55,18 @@ double
 RunningStat::max() const
 {
     return count_ == 0 ? 0.0 : max_;
+}
+
+double
+RunningStat::variance() const
+{
+    return count_ < 2 ? 0.0 : m2_ / double(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
 }
 
 double

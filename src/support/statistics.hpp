@@ -11,22 +11,38 @@
 
 namespace pathsched {
 
-/** Running mean / min / max / sum accumulator. */
+/**
+ * Running mean / min / max / sum / variance accumulator.
+ *
+ * Variance uses Welford's online algorithm, so the accumulator is
+ * numerically stable for long sample streams.  Every query is
+ * well-defined on an empty accumulator: count() and sum() are 0 and
+ * mean(), min(), max(), variance() and stddev() all return 0.0.
+ */
 class RunningStat
 {
   public:
     /** Fold one sample into the accumulator. */
     void add(double x);
 
+    /** Fold another accumulator in (Chan's parallel combination). */
+    void merge(const RunningStat &other);
+
     uint64_t count() const { return count_; }
     double sum() const { return sum_; }
-    double mean() const;
+    double mean() const { return mean_; }
     double min() const;
     double max() const;
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    /** sqrt(variance()). */
+    double stddev() const;
 
   private:
     uint64_t count_ = 0;
     double sum_ = 0;
+    double mean_ = 0;
+    double m2_ = 0; ///< sum of squared deviations from the running mean
     double min_ = 0;
     double max_ = 0;
 };

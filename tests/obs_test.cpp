@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Unit tests for the observability layer: stat registry semantics,
+ * JSON writing/escaping/parsing, timer monotonicity, and trace-file
+ * well-formedness (each trace is parsed back).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/stats.hpp"
+#include "obs/timer.hpp"
+
+namespace pathsched::obs {
+namespace {
+
+// --------------------------------------------------------------------
+// JSON escaping
+// --------------------------------------------------------------------
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("form.P4.superblocks"), "form.P4.superblocks");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslash)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("\"\\\""), "\\\"\\\\\\\"");
+}
+
+TEST(JsonEscape, EscapesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01"
+                                     "b")),
+              "a\\u0001b");
+    EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(JsonNumber, IntegralAndFractionalForms)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(-3.0), "-3");
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+}
+
+// --------------------------------------------------------------------
+// Writer and parser round trips
+// --------------------------------------------------------------------
+
+TEST(JsonWriter, WritesNestedDocument)
+{
+    JsonWriter w(0);
+    w.beginObject();
+    w.member("n", uint64_t(7));
+    w.key("xs");
+    w.beginArray();
+    w.value(int64_t(-1));
+    w.value(true);
+    w.valueNull();
+    w.value("s");
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), R"({"n":7,"xs":[-1,true,null,"s"]})");
+}
+
+TEST(JsonParse, RoundTripsEscapedStrings)
+{
+    const std::string nasty = "q\"uote b\\ack \n\t\r ctrl\x01 end";
+    JsonWriter w;
+    w.beginObject();
+    w.member("s", nasty);
+    w.endObject();
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(w.str(), v, &err)) << err;
+    ASSERT_NE(v.find("s"), nullptr);
+    EXPECT_EQ(v.find("s")->asString(), nasty);
+}
+
+TEST(JsonParse, ParsesScalarsArraysObjects)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}})", v,
+        &err))
+        << err;
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items()[0].asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(a->items()[1].asNumber(), 2.5);
+    EXPECT_DOUBLE_EQ(a->items()[2].asNumber(), -300.0);
+    EXPECT_TRUE(v.findPath("b.c")->asBool());
+    EXPECT_TRUE(v.findPath("b.d")->isNull());
+    EXPECT_EQ(v.findPath("b.missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    JsonValue v;
+    EXPECT_FALSE(JsonValue::parse("", v));
+    EXPECT_FALSE(JsonValue::parse("{", v));
+    EXPECT_FALSE(JsonValue::parse("{\"a\":}", v));
+    EXPECT_FALSE(JsonValue::parse("[1,]", v));
+    EXPECT_FALSE(JsonValue::parse("\"unterminated", v));
+    EXPECT_FALSE(JsonValue::parse("{} trailing", v));
+    EXPECT_FALSE(JsonValue::parse("nulll", v));
+}
+
+// --------------------------------------------------------------------
+// StatRegistry
+// --------------------------------------------------------------------
+
+TEST(StatRegistry, CountersAccumulateAndLookup)
+{
+    StatRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    reg.addCounter("form.P4.superblocks", 3);
+    reg.addCounter("form.P4.superblocks", 2);
+    EXPECT_EQ(reg.counter("form.P4.superblocks"), 5u);
+    EXPECT_EQ(reg.counter("no.such.stat"), 0u);
+    ASSERT_NE(reg.find("form.P4.superblocks"), nullptr);
+    EXPECT_EQ(reg.find("form.P4.superblocks")->kind,
+              Stat::Kind::Counter);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+}
+
+TEST(StatRegistry, GaugesLastWriteWins)
+{
+    StatRegistry reg;
+    reg.setGauge("layout.P4.codeBytes", 100);
+    reg.setGauge("layout.P4.codeBytes", 250);
+    EXPECT_DOUBLE_EQ(reg.find("layout.P4.codeBytes")->gauge, 250.0);
+}
+
+TEST(StatRegistry, DistributionsCollectSamples)
+{
+    StatRegistry reg;
+    reg.addSample("time.P4.form.select", 1.0);
+    reg.addSample("time.P4.form.select", 3.0);
+    const Stat *s = reg.find("time.P4.form.select");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->dist.count(), 2u);
+    EXPECT_DOUBLE_EQ(s->dist.mean(), 2.0);
+}
+
+TEST(StatRegistry, MergeCombinesAllKinds)
+{
+    StatRegistry a, b;
+    a.addCounter("c", 1);
+    a.addSample("d", 1.0);
+    a.setGauge("g", 1.0);
+    b.addCounter("c", 2);
+    b.addCounter("only.in.b", 7);
+    b.addSample("d", 3.0);
+    b.setGauge("g", 9.0);
+    a.merge(b);
+    EXPECT_EQ(a.counter("c"), 3u);
+    EXPECT_EQ(a.counter("only.in.b"), 7u);
+    EXPECT_DOUBLE_EQ(a.find("g")->gauge, 9.0);
+    EXPECT_EQ(a.find("d")->dist.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.find("d")->dist.mean(), 2.0);
+}
+
+TEST(StatRegistry, ToJsonNestsDottedPaths)
+{
+    StatRegistry reg;
+    reg.addCounter("form.P4.superblocks", 4);
+    reg.addCounter("form.P4e.superblocks", 6);
+    reg.setGauge("layout.P4.codeBytes", 2048);
+
+    JsonWriter w;
+    reg.toJson(w);
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(w.str(), v, &err)) << err;
+    ASSERT_NE(v.findPath("form.P4.superblocks"), nullptr);
+    EXPECT_DOUBLE_EQ(v.findPath("form.P4.superblocks")->asNumber(), 4.0);
+    EXPECT_DOUBLE_EQ(v.findPath("form.P4e.superblocks")->asNumber(),
+                     6.0);
+    EXPECT_DOUBLE_EQ(v.findPath("layout.P4.codeBytes")->asNumber(),
+                     2048.0);
+}
+
+TEST(StatRegistry, ToTextListsEveryStat)
+{
+    StatRegistry reg;
+    reg.addCounter("a.count", 1234);
+    reg.addSample("b.time", 2.0);
+    const std::string text = reg.toText();
+    EXPECT_NE(text.find("a.count"), std::string::npos);
+    EXPECT_NE(text.find("1,234"), std::string::npos);
+    EXPECT_NE(text.find("b.time"), std::string::npos);
+    EXPECT_NE(text.find("mean"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Timers and traces
+// --------------------------------------------------------------------
+
+TEST(ScopedTimer, ElapsedIsMonotonicAndNonNegative)
+{
+    ScopedTimer t("t");
+    const double a = t.elapsedMs();
+    ASSERT_GE(a, 0.0);
+    // Burn a little time; elapsed must never decrease.
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + uint64_t(i);
+    const double b = t.elapsedMs();
+    EXPECT_GE(b, a);
+    t.stop();
+    const double stopped = t.elapsedMs();
+    EXPECT_GE(stopped, b);
+    EXPECT_DOUBLE_EQ(t.elapsedMs(), stopped); // frozen after stop()
+}
+
+TEST(ScopedTimer, DeliversToAllSinks)
+{
+    StatRegistry reg;
+    StageTrace trace;
+    std::vector<StageTiming> timings;
+    {
+        ScopedTimer t("stage", &reg, &trace, &timings);
+    }
+    ASSERT_EQ(timings.size(), 1u);
+    EXPECT_EQ(timings[0].name, "stage");
+    EXPECT_GE(timings[0].ms, 0.0);
+    const Stat *s = reg.find("stage");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->dist.count(), 1u);
+    ASSERT_EQ(trace.events().size(), 1u);
+    EXPECT_EQ(trace.events()[0].name, "stage");
+}
+
+TEST(Observer, PrefixesAndNullSafety)
+{
+    StatRegistry reg;
+    Observer ob;
+    ob.stats = &reg;
+    const Observer sub = ob.withPrefix("time.P4.");
+    sub.addCounter("x", 2);
+    sub.addSample("y", 1.5);
+    sub.setGauge("z", 3.0);
+    EXPECT_EQ(reg.counter("time.P4.x"), 2u);
+    EXPECT_NE(reg.find("time.P4.y"), nullptr);
+    EXPECT_NE(reg.find("time.P4.z"), nullptr);
+
+    const Observer null_ob; // all-null sinks: every call is a no-op
+    null_ob.addCounter("a", 1);
+    null_ob.addSample("b", 1.0);
+    null_ob.setGauge("c", 1.0);
+    { auto t = null_ob.time("d"); }
+}
+
+TEST(StageTrace, ChromeTraceParsesBackWellFormed)
+{
+    StageTrace trace;
+    {
+        ScopedTimer outer("outer", nullptr, &trace);
+        ScopedTimer inner("inner \"quoted\"", nullptr, &trace);
+    }
+    const std::string doc = trace.toChromeTrace();
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(doc, v, &err)) << err;
+    const JsonValue *events = v.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->items().size(), 2u);
+    for (const JsonValue &e : events->items()) {
+        EXPECT_TRUE(e.find("name")->isString());
+        EXPECT_EQ(e.find("ph")->asString(), "X");
+        EXPECT_GE(e.find("ts")->asNumber(), 0.0);
+        EXPECT_GE(e.find("dur")->asNumber(), 0.0);
+        EXPECT_TRUE(e.find("pid")->isNumber());
+        EXPECT_TRUE(e.find("tid")->isNumber());
+    }
+    // Destruction order stops `inner` first.
+    EXPECT_EQ(events->items()[0].find("name")->asString(),
+              "inner \"quoted\"");
+    EXPECT_EQ(events->items()[1].find("name")->asString(), "outer");
+    // The inner event nests within the outer one.
+    const auto &in = events->items()[0];
+    const auto &out = events->items()[1];
+    EXPECT_GE(in.find("ts")->asNumber(), out.find("ts")->asNumber());
+}
+
+TEST(StageTrace, TimestampsAreMonotonicPerTrace)
+{
+    StageTrace trace;
+    const uint64_t a = trace.nowUs();
+    const uint64_t b = trace.nowUs();
+    EXPECT_GE(b, a);
+    trace.record("e1", a, b - a);
+    trace.record("e2", b, 0);
+    ASSERT_EQ(trace.events().size(), 2u);
+    EXPECT_LE(trace.events()[0].tsUs, trace.events()[1].tsUs);
+}
+
+} // namespace
+} // namespace pathsched::obs

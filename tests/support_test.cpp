@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "support/bitvec.hpp"
 #include "support/rng.hpp"
@@ -149,6 +151,81 @@ TEST(RunningStat, TracksMinMaxMeanSum)
     EXPECT_DOUBLE_EQ(s.min(), -1.0);
     EXPECT_DOUBLE_EQ(s.max(), 4.0);
     EXPECT_NEAR(s.mean(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStat, EmptyAccumulatorIsWellDefined)
+{
+    const RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance)
+{
+    RunningStat s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 7.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStat, WelfordMatchesDirectVariance)
+{
+    // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(RunningStat, WelfordIsStableForOffsetSamples)
+{
+    // A naive sum-of-squares accumulator loses all precision here;
+    // Welford keeps the exact small variance around a huge mean.
+    RunningStat s;
+    const double base = 1e9;
+    for (double x : {base + 1.0, base + 2.0, base + 3.0})
+        s.add(x);
+    EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStat, MergeMatchesSequentialFeed)
+{
+    RunningStat all, a, b;
+    const std::vector<double> xs = {1.0, -2.0, 3.5, 0.0, 10.0, 4.25};
+    for (size_t i = 0; i < xs.size(); ++i) {
+        all.add(xs[i]);
+        (i < 3 ? a : b).add(xs[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
+TEST(RunningStat, MergeWithEmptySides)
+{
+    RunningStat a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    const double var = a.variance();
+    a.merge(empty); // no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.variance(), var);
+    empty.merge(a); // adopt
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
 TEST(Statistics, MeanAndGeomean)

@@ -10,6 +10,8 @@
  *   pathsched_cli --workload all --config all --icache
  *   pathsched_cli --workload gcc --config P4 --depth 7 --latency realistic
  *   pathsched_cli --workload corr --dump-paths corr.paths
+ *   pathsched_cli --workload wc --config all --json out.json --trace out.trace
+ *   pathsched_cli --workload wc --config P4 --stats
  */
 
 #include <cstdio>
@@ -20,7 +22,10 @@
 
 #include "interp/interpreter.hpp"
 #include "machine/machine.hpp"
+#include "obs/stats.hpp"
+#include "obs/timer.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/report.hpp"
 #include "profile/serialize.hpp"
 #include "support/logging.hpp"
 #include "workloads/workloads.hpp"
@@ -49,6 +54,14 @@ usage()
         "  --no-ph                 skip Pettis-Hansen placement\n"
         "  --dump-paths FILE       write the workload's general path\n"
         "                          profile (training input) to FILE\n"
+        "  --json FILE             write a JSON report of every run to\n"
+        "                          FILE ('-' = stdout, suppresses the\n"
+        "                          table); see docs/observability.md\n"
+        "  --trace FILE            write a Chrome trace_event file of\n"
+        "                          per-stage wall times to FILE (open\n"
+        "                          in chrome://tracing or Perfetto)\n"
+        "  --stats                 collect interpreter statistics and\n"
+        "                          dump the stat registry after the runs\n"
         "  --list                  list workloads and exit\n");
 }
 
@@ -95,6 +108,9 @@ main(int argc, char **argv)
     std::string workload = "all";
     std::string config = "all";
     std::string dump_paths;
+    std::string json_file;
+    std::string trace_file;
+    bool want_stats = false;
     pipeline::PipelineOptions opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -137,6 +153,12 @@ main(int argc, char **argv)
             opts.pettisHansen = false;
         } else if (arg == "--dump-paths") {
             dump_paths = next();
+        } else if (arg == "--json") {
+            json_file = next();
+        } else if (arg == "--trace") {
+            trace_file = next();
+        } else if (arg == "--stats") {
+            want_stats = true;
         } else if (arg == "--list") {
             for (const auto &n : workloads::benchmarkNames())
                 std::printf("%s\n", n.c_str());
@@ -169,27 +191,76 @@ main(int argc, char **argv)
         configs.push_back(c);
     }
 
-    std::printf("%-8s %-4s %12s %8s %9s %9s %11s\n", "bench", "cfg",
-                "cycles", "miss%", "code(KB)", "sb-exec", "sb-size");
+    // Observability sinks: the registry feeds --json and --stats, the
+    // stage trace feeds --trace.  Null sinks disable collection.
+    obs::StatRegistry registry;
+    obs::StageTrace trace;
+    obs::Observer observer;
+    const bool need_registry =
+        !json_file.empty() || want_stats;
+    if (need_registry)
+        observer.stats = &registry;
+    if (!trace_file.empty())
+        observer.trace = &trace;
+    if (observer.stats != nullptr || observer.trace != nullptr)
+        opts.observer = &observer;
+    opts.interpStats = want_stats;
+
+    std::vector<pipeline::ReportRun> report_runs;
+    // `--json -` owns stdout: keep the human table off it.
+    const bool print_table = json_file != "-";
+
+    if (print_table)
+        std::printf("%-8s %-4s %12s %8s %9s %9s %11s\n", "bench", "cfg",
+                    "cycles", "miss%", "code(KB)", "sb-exec", "sb-size");
     for (const auto &name : names) {
         const auto w = workloads::makeByName(name);
         if (!dump_paths.empty())
             dumpPaths(w, dump_paths, opts.pathParams);
         for (const auto c : configs) {
-            const auto r = pipeline::runPipeline(w.program, w.train,
-                                                 w.test, c, opts);
-            std::printf(
-                "%-8s %-4s %12llu %8.3f %9.1f %9.2f %11.2f\n",
-                name.c_str(), r.name.c_str(),
-                (unsigned long long)r.test.cycles,
-                r.test.icacheAccesses
-                    ? 100.0 * double(r.test.icacheMisses) /
-                          double(r.test.icacheAccesses)
-                    : 0.0,
-                double(r.codeBytes) / 1024.0,
-                r.test.sbAvgBlocksExecuted(),
-                r.test.sbAvgBlocksInSuperblock());
+            auto run_timer = observer.time("run." + name + "." +
+                                           pipeline::configName(c));
+            auto r = pipeline::runPipeline(w.program, w.train, w.test, c,
+                                           opts);
+            run_timer.stop();
+            if (print_table)
+                std::printf(
+                    "%-8s %-4s %12llu %8.3f %9.1f %9.2f %11.2f\n",
+                    name.c_str(), r.name.c_str(),
+                    (unsigned long long)r.test.cycles,
+                    r.test.icacheAccesses
+                        ? 100.0 * double(r.test.icacheMisses) /
+                              double(r.test.icacheAccesses)
+                        : 0.0,
+                    double(r.codeBytes) / 1024.0,
+                    r.test.sbAvgBlocksExecuted(),
+                    r.test.sbAvgBlocksInSuperblock());
+            if (!json_file.empty())
+                report_runs.push_back({name, std::move(r)});
         }
+    }
+
+    if (want_stats) {
+        // `--json -` owns stdout, so the text dump moves to stderr.
+        FILE *out = print_table ? stdout : stderr;
+        std::fprintf(out, "\nstat registry (%zu stats)\n",
+                     registry.size());
+        std::fputs(registry.toText().c_str(), out);
+    }
+    if (!trace_file.empty()) {
+        if (!trace.writeFile(trace_file))
+            fatal("cannot write trace file '%s'", trace_file.c_str());
+        std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                     trace.events().size(), trace_file.c_str());
+    }
+    if (!json_file.empty()) {
+        if (!pipeline::writeReportFile(json_file, report_runs,
+                                       need_registry ? &registry
+                                                     : nullptr))
+            fatal("cannot write JSON report '%s'", json_file.c_str());
+        if (json_file != "-")
+            std::fprintf(stderr, "wrote %zu runs to %s\n",
+                         report_runs.size(), json_file.c_str());
     }
     return 0;
 }
