@@ -26,6 +26,7 @@
 #include "obs/timer.hpp"
 #include "profile/edge_profile.hpp"
 #include "profile/path_profile.hpp"
+#include "support/status.hpp"
 
 namespace pathsched::form {
 
@@ -79,9 +80,26 @@ struct FormStats
 };
 
 /**
+ * Form superblocks over procedure @p proc of @p prog in place,
+ * accumulating counters into @p stats — the recoverable per-procedure
+ * entry point behind formProgram().
+ *
+ * On a non-OK return (a superblock invariant break during
+ * materialization, or the formed procedure failing structural
+ * verification) the procedure may be partially rewritten; the caller
+ * must discard the program copy or restore the procedure's original
+ * body (the pipeline's per-procedure BB quarantine does the latter).
+ */
+Status formProcedure(ir::Program &prog, ir::ProcId proc,
+                     const profile::EdgeProfiler *ep,
+                     const profile::PathProfiler *pp,
+                     const FormConfig &config, FormStats &stats);
+
+/**
  * Form superblocks over every procedure of @p prog in place.
  * Pass @p ep for ProfileMode::Edge and @p pp (finalized) for
- * ProfileMode::Path; the other pointer may be null.
+ * ProfileMode::Path; the other pointer may be null.  Panics on any
+ * formation failure — callers that need recovery use formProcedure().
  */
 FormStats formProgram(ir::Program &prog,
                       const profile::EdgeProfiler *ep,

@@ -1,6 +1,7 @@
 #include "form/materialize.hpp"
 
 #include "support/logging.hpp"
+#include "support/strutil.hpp"
 
 namespace pathsched::form {
 
@@ -10,7 +11,7 @@ using ir::Instruction;
 using ir::kNoBlock;
 using ir::Opcode;
 
-void
+Status
 materializeTraces(ProcFormState &state, FormStats &stats)
 {
     ir::Procedure &proc = state.proc;
@@ -19,6 +20,12 @@ materializeTraces(ProcFormState &state, FormStats &stats)
     // Heads are overwritten in place, but enlarged traces may revisit
     // them, so all code is copied from a pre-materialization snapshot.
     const std::vector<BasicBlock> snapshot = proc.blocks;
+
+    auto broken = [&](const std::string &msg) {
+        return Status::error(
+            ErrorKind::VerifyFailed,
+            strfmt("proc %s: %s", proc.name.c_str(), msg.c_str()));
+    };
 
     for (size_t ti = 0; ti < state.traces.size(); ++ti) {
         const Trace &t = state.traces[ti];
@@ -30,7 +37,8 @@ materializeTraces(ProcFormState &state, FormStats &stats)
         std::vector<uint32_t> ordinals;
         for (size_t i = 0; i < t.size(); ++i) {
             const BasicBlock &src = snapshot[t[i]];
-            ps_assert(!src.instrs.empty());
+            if (src.instrs.empty())
+                return broken(strfmt("trace block %u is empty", t[i]));
             for (size_t j = 0; j < src.instrs.size(); ++j) {
                 const bool last = j + 1 == src.instrs.size();
                 Instruction ins = src.instrs[j];
@@ -40,11 +48,13 @@ materializeTraces(ProcFormState &state, FormStats &stats)
                     // merged block.
                     const BlockId on_trace = t[i + 1];
                     if (ins.isBranch()) {
-                        ps_assert_msg(ins.target0 == on_trace ||
-                                          ins.target1 == on_trace,
-                                      "trace successor %u is not a CFG "
-                                      "successor of block %u",
-                                      on_trace, t[i]);
+                        if (ins.target0 != on_trace &&
+                            ins.target1 != on_trace) {
+                            return broken(strfmt(
+                                "trace successor %u is not a CFG "
+                                "successor of block %u",
+                                on_trace, t[i]));
+                        }
                         if (ins.target0 == on_trace &&
                             ins.target1 == on_trace) {
                             continue; // both ways continue the trace
@@ -57,19 +67,27 @@ materializeTraces(ProcFormState &state, FormStats &stats)
                         }
                         ins.target1 = kNoBlock; // side-exit form
                     } else if (ins.op == Opcode::Jmp) {
-                        ps_assert(ins.target0 == on_trace);
+                        if (ins.target0 != on_trace) {
+                            return broken(strfmt(
+                                "trace jumps past successor %u from "
+                                "block %u",
+                                on_trace, t[i]));
+                        }
                         continue; // pure fallthrough inside the block
                     } else {
-                        panic("block %u cannot be a trace interior "
-                              "(terminator %s)",
-                              t[i], opcodeName(ins.op));
+                        return broken(strfmt(
+                            "block %u cannot be a trace interior "
+                            "(terminator %s)",
+                            t[i], opcodeName(ins.op)));
                     }
                 }
                 merged.push_back(std::move(ins));
                 ordinals.push_back(uint32_t(i));
             }
         }
-        ps_assert(!merged.empty());
+        if (merged.empty())
+            return broken(strfmt("trace at head %u merged to nothing",
+                                 head));
 
         ir::SuperblockInfo &sb = proc.superblocks[head];
         sb.isSuperblock = true;
@@ -83,6 +101,7 @@ materializeTraces(ProcFormState &state, FormStats &stats)
         ++stats.superblocksFormed;
         stats.blocksDuplicated += t.size() - 1;
     }
+    return Status();
 }
 
 void

@@ -8,6 +8,7 @@
 #define PATHSCHED_FORM_MATERIALIZE_HPP
 
 #include "form/internal.hpp"
+#include "support/status.hpp"
 
 namespace pathsched::form {
 
@@ -18,8 +19,13 @@ namespace pathsched::form {
  * when the trace follows the taken edge), and unconditional jumps along
  * the trace are elided.  Original non-head blocks are left untouched —
  * they are the tail duplicates that serve any side entrances.
+ *
+ * @return ErrorKind::VerifyFailed when a trace breaks the superblock
+ * invariants (a non-CFG successor, an interior call/ret); the
+ * procedure may be partially rewritten then, so the caller must
+ * discard or restore it.
  */
-void materializeTraces(ProcFormState &state, FormStats &stats);
+Status materializeTraces(ProcFormState &state, FormStats &stats);
 
 /**
  * Drop blocks unreachable from the entry (typically tail blocks whose

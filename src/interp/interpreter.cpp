@@ -150,9 +150,14 @@ Interpreter::run(const ProgramInput &input)
             const size_t i = f.instrIdx;
             const Instruction &ins = bb.instrs[i];
 
-            if (++steps > opts_.maxSteps)
-                fatal("interpreter exceeded %llu steps",
-                      (unsigned long long)opts_.maxSteps);
+            if (++steps > opts_.maxSteps) {
+                // Typed, recoverable stop: unwind every frame and let
+                // the caller decide how severe a runaway run is.
+                res.stepLimit = true;
+                depth = 0;
+                frame_switch = true;
+                break;
+            }
             ++res.dynInstrs;
 
             if (dispatch_ops)

@@ -53,6 +53,14 @@ struct RunResult
     uint64_t icacheAccesses = 0;
     uint64_t icacheMisses = 0;
 
+    /**
+     * The run stopped because it reached InterpOptions::maxSteps.
+     * Output and counters reflect the truncated prefix; the caller
+     * decides whether that is a user error (runaway input program) or
+     * a miscompiled-program symptom (transformed code diverging).
+     */
+    bool stepLimit = false;
+
     /** @name Superblock statistics (Fig. 7)
      *  @{
      */
@@ -81,7 +89,8 @@ struct RunResult
 /** Interpreter configuration. */
 struct InterpOptions
 {
-    /** Abort the run after this many operations (runaway guard). */
+    /** Stop the run after this many operations (runaway guard); the
+     *  truncated result carries RunResult::stepLimit = true. */
     uint64_t maxSteps = 4'000'000'000ULL;
     /** Code layout; required when an I-cache is attached. */
     const layout::CodeLayout *codeLayout = nullptr;

@@ -1,5 +1,7 @@
 #include "ir/verifier.hpp"
 
+#include <algorithm>
+
 #include "support/logging.hpp"
 #include "support/strutil.hpp"
 
@@ -26,6 +28,8 @@ class Checker
         for (const auto &p : prog_.procs)
             checkProc(p);
     }
+
+    void runProc(ProcId proc) { checkProc(prog_.procs[proc]); }
 
   private:
     void
@@ -156,6 +160,54 @@ verify(const Program &prog, VerifyMode mode,
     errors.clear();
     Checker(prog, mode, errors).run();
     return errors.empty();
+}
+
+bool
+verifyProc(const Program &prog, ProcId proc, VerifyMode mode,
+           std::vector<std::string> &errors)
+{
+    errors.clear();
+    ps_assert_msg(proc < prog.procs.size(),
+                  "verifyProc: procedure %u out of range", proc);
+    Checker(prog, mode, errors).runProc(proc);
+    return errors.empty();
+}
+
+namespace {
+
+Status
+errorsToStatus(const std::vector<std::string> &errors)
+{
+    if (errors.empty())
+        return Status();
+    // Cap the message at a handful of violations; callers that need
+    // the full list use verify()/verifyProc() directly.
+    std::string msg = strfmt("%zu violation(s): ", errors.size());
+    const size_t shown = std::min<size_t>(errors.size(), 3);
+    for (size_t i = 0; i < shown; ++i) {
+        if (i)
+            msg += "; ";
+        msg += errors[i];
+    }
+    return Status::error(ErrorKind::VerifyFailed, std::move(msg));
+}
+
+} // namespace
+
+Status
+verifyStatus(const Program &prog, VerifyMode mode)
+{
+    std::vector<std::string> errors;
+    verify(prog, mode, errors);
+    return errorsToStatus(errors);
+}
+
+Status
+verifyProcStatus(const Program &prog, ProcId proc, VerifyMode mode)
+{
+    std::vector<std::string> errors;
+    verifyProc(prog, proc, mode, errors);
+    return errorsToStatus(errors);
 }
 
 void

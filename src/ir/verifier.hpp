@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ir/procedure.hpp"
+#include "support/status.hpp"
 
 namespace pathsched::ir {
 
@@ -32,7 +33,24 @@ enum class VerifyMode { Strict, Superblock };
 bool verify(const Program &prog, VerifyMode mode,
             std::vector<std::string> &errors);
 
-/** Verify and panic with the first error on failure. */
+/**
+ * Check only procedure @p proc of @p prog (program-level checks such
+ * as main-procedure validity are skipped).  Same reporting contract
+ * as verify().
+ */
+bool verifyProc(const Program &prog, ProcId proc, VerifyMode mode,
+                std::vector<std::string> &errors);
+
+/** verify() folded into a Status: OK, or ErrorKind::VerifyFailed with
+ *  the violations joined into the message. */
+Status verifyStatus(const Program &prog, VerifyMode mode);
+
+/** verifyProc() folded into a Status (see verifyStatus). */
+Status verifyProcStatus(const Program &prog, ProcId proc,
+                        VerifyMode mode);
+
+/** Verify and panic with the first error on failure — the
+ *  non-recoverable wrapper around verifyStatus(). */
 void verifyOrDie(const Program &prog, VerifyMode mode);
 
 } // namespace pathsched::ir

@@ -7,6 +7,7 @@
 #include "layout/pettis_hansen.hpp"
 #include "profile/edge_profile.hpp"
 #include "support/logging.hpp"
+#include "support/strutil.hpp"
 
 namespace pathsched::pipeline {
 
@@ -64,6 +65,21 @@ formConfigFor(SchedConfig config, const PipelineOptions &options)
     return fc;
 }
 
+namespace {
+
+/** How far the surviving procedures have progressed when a fallback
+ *  runs — the BB fallback must catch the quarantined procedure up to
+ *  exactly this point. */
+enum class StageReached
+{
+    Form,      ///< transform stage: nothing else has run yet
+    Compact,   ///< compaction has run
+    Regalloc,  ///< register allocation has run
+    Postsched, ///< postschedule + IR verification have run
+};
+
+} // namespace
+
 PipelineResult
 runPipeline(const ir::Program &program, const interp::ProgramInput &train,
             const interp::ProgramInput &test, SchedConfig config,
@@ -72,7 +88,13 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     PipelineResult result;
     result.config = config;
     result.name = configName(config);
-    ir::verifyOrDie(program, ir::VerifyMode::Strict);
+    {
+        Status st = ir::verifyStatus(program, ir::VerifyMode::Strict);
+        if (!st.ok()) {
+            result.status = st;
+            return result;
+        }
+    }
 
     // Observability: "timed" carries the "time.<config>." prefix for
     // stage stopwatches; counters register as <stage>.<config>.<name>.
@@ -117,13 +139,77 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         t.stop();
         result.stages.push_back({"train", t.elapsedMs()});
     }
+    if (train_run.stepLimit) {
+        result.status = Status::error(
+            ErrorKind::StepLimit,
+            strfmt("training run exceeded %llu steps",
+                   (unsigned long long)options.maxSteps));
+        return result;
+    }
     result.trainSteps = train_run.dynInstrs;
     base.addCounter("profile" + cfg_dot + "trainSteps",
                     train_run.dynInstrs);
     base.addCounter("profile" + cfg_dot + "paths", result.numPaths);
 
-    // --- 2. Transform a copy of the program. ---
+    // --- 2. Transform a copy of the program, one procedure at a time,
+    //        with per-procedure quarantine (see the file comment). ---
     ir::Program prog = program;
+    const size_t num_procs = prog.procs.size();
+    std::vector<uint8_t> quarantined(num_procs, 0);
+
+    // Stage-boundary fault injection; quarantined procedures are never
+    // queried again, so the BB fallback cannot be re-failed.
+    auto inject = [&](const char *stage, ir::ProcId p) -> Status {
+        if (options.faults == nullptr || quarantined[p])
+            return Status();
+        if (auto kind = options.faults->fire(stage, p))
+            return Status::error(
+                *kind, strfmt("injected fault at %s", stage));
+        return Status();
+    };
+
+    auto noteFailure = [&](ir::ProcId p, const char *stage,
+                           const Status &st) {
+        quarantined[p] = 1;
+        warn("config %s: proc %s failed at %s (%s); degrading to BB",
+             result.name.c_str(), program.procs[p].name.c_str(), stage,
+             st.toString().c_str());
+        result.degraded.push_back({p, program.procs[p].name, stage,
+                                   st.kind(), st.message()});
+    };
+
+    // Restore procedure p's original (basic-block) body and re-run the
+    // stages its peers have already completed — injection-free.  A
+    // failure here means the always-safe baseline itself is broken,
+    // which is an internal bug: abort.
+    auto rebuildAsBB = [&](ir::ProcId p, StageReached reached) {
+        auto t = timed.time("fallback");
+        prog.procs[p] = program.procs[p];
+        prog.procs[p].syncSideTables();
+        Status st = Status();
+        sched::CompactOptions fb_opts;
+        fb_opts.priority = options.schedPriority;
+        sched::CompactStats fb_compact;
+        regalloc::AllocStats fb_alloc;
+        if (reached >= StageReached::Compact)
+            st = sched::compactProcedure(prog, p, options.machine,
+                                         fb_opts, fb_compact);
+        if (st.ok() && reached >= StageReached::Regalloc &&
+            options.registerAllocate)
+            st = regalloc::allocateProcedure(
+                prog, p, options.machine.numRegs, fb_alloc);
+        if (st.ok() && reached >= StageReached::Postsched) {
+            if (options.registerAllocate)
+                sched::scheduleProcedure(prog, p, options.machine,
+                                         options.schedPriority);
+            st = ir::verifyProcStatus(prog, p,
+                                      ir::VerifyMode::Superblock);
+        }
+        if (!st.ok())
+            panic("BB fallback failed for proc %s: %s",
+                  program.procs[p].name.c_str(), st.toString().c_str());
+    };
+
     if (config != SchedConfig::BB) {
         // ".total" keeps the stage stopwatch a sibling of the
         // sub-stage distributions ("time.P4.form.select", ...).
@@ -131,8 +217,21 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         form::FormConfig fc = formConfigFor(config, options);
         const obs::Observer form_obs = timed.withPrefix("form.");
         fc.observer = &form_obs;
-        result.form = form::formProgram(prog, &edge_profile, &path_profile,
-                                        fc);
+        for (ir::ProcId p = 0; p < num_procs; ++p) {
+            const char *stage = "form";
+            Status st = inject(stage, p);
+            if (st.ok())
+                st = form::formProcedure(prog, p, &edge_profile,
+                                         &path_profile, fc, result.form);
+            if (st.ok()) {
+                stage = "materialize";
+                st = inject(stage, p);
+            }
+            if (!st.ok()) {
+                noteFailure(p, stage, st);
+                rebuildAsBB(p, StageReached::Form);
+            }
+        }
         t.stop();
         result.stages.push_back({"form", t.elapsedMs()});
         base.addCounter("form" + cfg_dot + "tracesSelected",
@@ -156,8 +255,16 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         copts.priority = options.schedPriority;
         const obs::Observer compact_obs = timed.withPrefix("compact.");
         copts.observer = &compact_obs;
-        result.compact = sched::compactProgram(prog, options.machine,
-                                               copts);
+        for (ir::ProcId p = 0; p < num_procs; ++p) {
+            Status st = inject("compact", p);
+            if (st.ok())
+                st = sched::compactProcedure(prog, p, options.machine,
+                                             copts, result.compact);
+            if (!st.ok()) {
+                noteFailure(p, "compact", st);
+                rebuildAsBB(p, StageReached::Compact);
+            }
+        }
         t.stop();
         result.stages.push_back({"compact", t.elapsedMs()});
         base.addCounter("compact" + cfg_dot + "copiesPropagated",
@@ -176,8 +283,16 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     if (options.registerAllocate) {
         {
             auto t = timed.time("regalloc");
-            result.alloc =
-                regalloc::allocateProgram(prog, options.machine.numRegs);
+            for (ir::ProcId p = 0; p < num_procs; ++p) {
+                Status st = inject("regalloc", p);
+                if (st.ok())
+                    st = regalloc::allocateProcedure(
+                        prog, p, options.machine.numRegs, result.alloc);
+                if (!st.ok()) {
+                    noteFailure(p, "regalloc", st);
+                    rebuildAsBB(p, StageReached::Regalloc);
+                }
+            }
             t.stop();
             result.stages.push_back({"regalloc", t.elapsedMs()});
         }
@@ -187,18 +302,34 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                       result.alloc.maxPressure);
         {
             auto t = timed.time("postsched");
-            result.compact.sched = sched::scheduleProgram(
-                prog, options.machine, options.schedPriority);
+            result.compact.sched = sched::ScheduleStats();
+            for (ir::ProcId p = 0; p < num_procs; ++p)
+                result.compact.sched += sched::scheduleProcedure(
+                    prog, p, options.machine, options.schedPriority);
             t.stop();
             result.stages.push_back({"postsched", t.elapsedMs()});
         }
     }
-    ir::verifyOrDie(prog, ir::VerifyMode::Superblock);
+
+    // Post-transform IR verification, per procedure so one broken
+    // procedure quarantines instead of killing the run.
+    for (ir::ProcId p = 0; p < num_procs; ++p) {
+        Status st = inject("verify", p);
+        if (st.ok())
+            st = ir::verifyProcStatus(prog, p,
+                                      ir::VerifyMode::Superblock);
+        if (!st.ok()) {
+            noteFailure(p, "verify", st);
+            rebuildAsBB(p, StageReached::Postsched);
+        }
+    }
 
     // --- 5. Procedure placement and address assignment. ---
+    // Re-runnable: the output-equivalence fallback lays the program out
+    // again after degrading suspects.
     layout::CodeLayout code_layout;
-    {
-        auto t = timed.time("layout");
+    auto runLayout = [&](const char *stage_name) {
+        auto t = timed.time(stage_name);
         if (options.pettisHansen) {
             analysis::CallGraph cg(prog);
             for (const auto &[edge, count] : train_run.callCounts)
@@ -210,20 +341,23 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                 layout::layoutProgram(prog, {}, options.blockOrder);
         }
         t.stop();
-        result.stages.push_back({"layout", t.elapsedMs()});
-    }
-    result.codeBytes = code_layout.totalBytes;
-    base.setGauge("layout" + cfg_dot + "codeBytes",
-                  double(result.codeBytes));
+        result.stages.push_back({stage_name, t.elapsedMs()});
+        result.codeBytes = code_layout.totalBytes;
+        base.setGauge("layout" + cfg_dot + "codeBytes",
+                      double(result.codeBytes));
+    };
+    runLayout("layout");
 
     // --- 6. Measured test run of the transformed program (the I-cache
-    //        simulation when options.useICache is set). ---
-    icache::ICache cache(options.cacheParams);
-    {
-        auto t = timed.time("test");
+    //        simulation when options.useICache is set).  Re-runnable,
+    //        with a fresh I-cache per attempt so a retry never sees the
+    //        first attempt's cache contents. ---
+    auto runTest = [&](const char *stage_name) {
+        auto t = timed.time(stage_name);
         interp::InterpOptions iopts;
         iopts.maxSteps = options.maxSteps;
         iopts.codeLayout = &code_layout;
+        icache::ICache cache(options.cacheParams);
         if (options.useICache)
             iopts.cache = &cache;
         interp::Interpreter interp(prog, iopts);
@@ -235,8 +369,98 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         if (want_interp_stats)
             istats.flush();
         t.stop();
-        result.stages.push_back({"test", t.elapsedMs()});
+        result.stages.push_back({stage_name, t.elapsedMs()});
+    };
+    runTest("test");
+
+    // --- 7. Semantic check against the original program. ---
+    interp::RunResult ref;
+    {
+        auto t = timed.time("verify");
+        interp::InterpOptions iopts;
+        iopts.maxSteps = options.maxSteps;
+        interp::Interpreter interp(program, iopts);
+        ref = interp.run(test);
+        t.stop();
+        result.stages.push_back({"verify", t.elapsedMs()});
     }
+    if (ref.stepLimit) {
+        // The *original* program blew the step ceiling on the test
+        // input: a user/configuration problem, not a miscompile.
+        result.status = Status::error(
+            ErrorKind::StepLimit,
+            strfmt("reference test run exceeded %llu steps",
+                   (unsigned long long)options.maxSteps));
+        return result;
+    }
+
+    auto matches = [&]() {
+        return !result.test.stepLimit &&
+               ref.output == result.test.output &&
+               ref.returnValue == result.test.returnValue;
+    };
+
+    // Injected output-compare faults name their suspects (and the
+    // error kind to record) directly.
+    std::vector<std::pair<ir::ProcId, Status>> suspects;
+    for (ir::ProcId p = 0; p < num_procs; ++p) {
+        Status st = inject("output-compare", p);
+        if (!st.ok())
+            suspects.push_back({p, std::move(st)});
+    }
+
+    result.outputMatches = matches();
+    if (!result.outputMatches || !suspects.empty()) {
+        if (suspects.empty()) {
+            // A real mismatch carries no attribution: suspect every
+            // procedure that is not already running its BB body.
+            const bool step_limited = result.test.stepLimit;
+            const Status st = Status::error(
+                step_limited ? ErrorKind::StepLimit
+                             : ErrorKind::OutputMismatch,
+                step_limited
+                    ? strfmt("test run exceeded %llu steps",
+                             (unsigned long long)options.maxSteps)
+                    : strfmt("%zu vs %zu output values, "
+                             "return %lld vs %lld",
+                             ref.output.size(),
+                             result.test.output.size(),
+                             (long long)ref.returnValue,
+                             (long long)result.test.returnValue));
+            for (ir::ProcId p = 0; p < num_procs; ++p) {
+                if (!quarantined[p])
+                    suspects.push_back({p, st});
+            }
+        }
+        ps_assert_msg(!suspects.empty(),
+                      "config %s changed program behaviour with every "
+                      "procedure already degraded to BB "
+                      "(%zu vs %zu output values, return %lld vs %lld)",
+                      result.name.c_str(), ref.output.size(),
+                      result.test.output.size(),
+                      (long long)ref.returnValue,
+                      (long long)result.test.returnValue);
+        for (const auto &[p, st] : suspects) {
+            noteFailure(p, "output-compare", st);
+            rebuildAsBB(p, StageReached::Postsched);
+        }
+        // Hyphenated names: "layout.retry" would nest under the
+        // "layout" leaf in the stats registry, which forbids that.
+        runLayout("layout-retry");
+        runTest("test-retry");
+        result.outputMatches = matches();
+        ps_assert_msg(result.outputMatches,
+                      "config %s changed program behaviour even after "
+                      "BB fallback "
+                      "(%zu vs %zu output values, return %lld vs %lld)",
+                      result.name.c_str(), ref.output.size(),
+                      result.test.output.size(),
+                      (long long)ref.returnValue,
+                      (long long)result.test.returnValue);
+    }
+
+    // Test-run counters are recorded once, from the *final* (possibly
+    // retried) test run.
     base.addCounter("test" + cfg_dot + "cycles", result.test.cycles);
     base.addCounter("test" + cfg_dot + "instrs", result.test.dynInstrs);
     base.addCounter("test" + cfg_dot + "branches",
@@ -250,25 +474,23 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                         result.test.stallCycles);
     }
 
-    // --- 7. Semantic check against the original program. ---
-    {
-        auto t = timed.time("verify");
-        interp::InterpOptions iopts;
-        iopts.maxSteps = options.maxSteps;
-        interp::Interpreter interp(program, iopts);
-        const interp::RunResult ref = interp.run(test);
-        result.outputMatches =
-            ref.output == result.test.output &&
-            ref.returnValue == result.test.returnValue;
-        t.stop();
-        result.stages.push_back({"verify", t.elapsedMs()});
-        ps_assert_msg(result.outputMatches,
-                      "config %s changed program behaviour "
-                      "(%zu vs %zu output values, return %lld vs %lld)",
-                      result.name.c_str(), ref.output.size(),
-                      result.test.output.size(),
-                      (long long)ref.returnValue,
-                      (long long)result.test.returnValue);
+    // --- 8. Robustness accounting. ---
+    base.addCounter("robust" + cfg_dot + "degraded",
+                    result.degraded.size());
+    static constexpr ErrorKind kAllKinds[] = {
+        ErrorKind::BadProfile,     ErrorKind::VerifyFailed,
+        ErrorKind::ScheduleFailed, ErrorKind::OutputMismatch,
+        ErrorKind::StepLimit,      ErrorKind::Injected,
+    };
+    for (ErrorKind k : kAllKinds) {
+        uint64_t n = 0;
+        for (const auto &d : result.degraded) {
+            if (d.kind == k)
+                ++n;
+        }
+        if (n > 0)
+            base.addCounter(
+                "robust" + cfg_dot + "errors." + errorKindName(k), n);
     }
 
     return result;

@@ -9,6 +9,14 @@
  * transformed program on the test input — optionally through the
  * 32 KB direct-mapped I-cache.  Every pipeline run checks that the
  * transformed program's output matches the original's.
+ *
+ * The pipeline is fault-tolerant per procedure (docs/robustness.md):
+ * when any transform stage fails for one procedure — or the
+ * post-transform verification or output-equivalence check implicates
+ * one — that procedure alone is degraded to the always-safe BB
+ * configuration and the run completes, recording the degradation in
+ * PipelineResult::degraded and the "robust.<config>.*" counters.  Only
+ * a failure of the BB fallback itself aborts the run.
  */
 
 #ifndef PATHSCHED_PIPELINE_PIPELINE_HPP
@@ -28,6 +36,8 @@
 #include "profile/path_profile.hpp"
 #include "regalloc/linear_scan.hpp"
 #include "sched/compact.hpp"
+#include "support/faultinject.hpp"
+#include "support/status.hpp"
 
 namespace pathsched::pipeline {
 
@@ -89,6 +99,30 @@ struct PipelineOptions
      *  per-op callback, so keep off for timing-sensitive runs. */
     bool interpStats = false;
     /** @} */
+
+    /**
+     * Optional fault injector (not owned; see support/faultinject.hpp).
+     * runPipeline consults it at every per-procedure stage boundary
+     * ("form", "materialize", "compact", "regalloc", "verify",
+     * "output-compare") and treats a hit exactly like a real failure of
+     * that stage, degrading the procedure to BB.  Quarantined
+     * procedures and the BB fallback itself are never re-injected, so
+     * an armed fault cannot make the fallback fail.  Null disables
+     * injection entirely.
+     */
+    FaultInjector *faults = nullptr;
+};
+
+/** One procedure degraded to the BB baseline during a pipeline run. */
+struct Degradation
+{
+    ir::ProcId proc = 0;
+    std::string procName;
+    /** Stage boundary that failed: "form", "materialize", "compact",
+     *  "regalloc", "verify" or "output-compare". */
+    std::string stage;
+    ErrorKind kind = ErrorKind::Injected;
+    std::string message;
 };
 
 /** Measurements from one (program, config) pipeline run. */
@@ -107,6 +141,19 @@ struct PipelineResult
     uint64_t trainSteps = 0;  ///< dynamic ops in the training run
     bool outputMatches = false; ///< transformed output == original output
 
+    /**
+     * Overall run status.  Non-OK means the run could not complete at
+     * all (invalid input program, training/reference run over the step
+     * ceiling) and the measurement fields are not meaningful.  A
+     * *degraded* run — some procedures fell back to BB — still
+     * completes with an OK status; check degradedRun().
+     */
+    Status status;
+    /** Procedures degraded to BB, in the order they failed. */
+    std::vector<Degradation> degraded;
+    /** The run completed but at least one procedure fell back to BB. */
+    bool degradedRun() const { return !degraded.empty(); }
+
     /** Wall time of every pipeline stage, in execution order (always
      *  collected; independent of PipelineOptions::observer). */
     std::vector<obs::StageTiming> stages;
@@ -122,8 +169,14 @@ form::FormConfig formConfigFor(SchedConfig config,
 /**
  * Run the full pipeline: profile @p program on @p train, transform per
  * @p config, measure on @p test.  @p program itself is not modified.
- * Panics if the transformed program's output differs from the
- * original's on the test input.
+ *
+ * Recovery contract: an invalid input program or a training/reference
+ * run over the step ceiling returns early with a non-OK
+ * PipelineResult::status.  A per-procedure stage failure (or an
+ * injected fault) degrades that procedure to BB and the run completes
+ * — see PipelineResult::degraded.  An output mismatch that survives
+ * degrading every suspect procedure to BB is an internal bug and
+ * panics, as does a failure of the BB fallback itself.
  */
 PipelineResult runPipeline(const ir::Program &program,
                            const interp::ProgramInput &train,

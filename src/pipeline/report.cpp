@@ -19,6 +19,25 @@ resultToJson(obs::JsonWriter &w, const std::string &workload,
     w.member("trainSteps", r.trainSteps);
     w.member("outputMatches", r.outputMatches);
 
+    // Robustness (additive to the v1 schema): overall status plus any
+    // procedures that fell back to BB during this run.
+    w.member("status", r.status.toString());
+    w.member("degraded", uint64_t(r.degraded.size()));
+    if (!r.degraded.empty()) {
+        w.key("degradations");
+        w.beginArray();
+        for (const auto &d : r.degraded) {
+            w.beginObject();
+            w.member("proc", uint64_t(d.proc));
+            w.member("procName", d.procName);
+            w.member("stage", d.stage);
+            w.member("kind", errorKindName(d.kind));
+            w.member("message", d.message);
+            w.endObject();
+        }
+        w.endArray();
+    }
+
     w.key("test");
     w.beginObject();
     w.member("cycles", r.test.cycles);

@@ -112,19 +112,24 @@ EdgeProfiler::forEachEdge(
     }
 }
 
-void
+bool
 EdgeProfiler::addBlockCount(ProcId proc, BlockId b, uint64_t count)
 {
-    ps_assert(proc < blocks_.size() && b < blocks_[proc].size());
+    if (proc >= blocks_.size() || b >= blocks_[proc].size())
+        return false;
     blocks_[proc][b] += count;
+    return true;
 }
 
-void
+bool
 EdgeProfiler::addEdgeCount(ProcId proc, BlockId from, BlockId to,
                            uint64_t count)
 {
-    ps_assert(proc < edges_.size());
+    if (proc >= edges_.size() || from >= blocks_[proc].size() ||
+        to >= blocks_[proc].size())
+        return false;
     edges_[proc][key(from, to)] += count;
+    return true;
 }
 
 } // namespace pathsched::profile

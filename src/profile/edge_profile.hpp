@@ -56,8 +56,12 @@ class EdgeProfiler : public interp::TraceListener
     void forEachEdge(
         const std::function<void(ir::ProcId, ir::BlockId, ir::BlockId,
                                  uint64_t)> &cb) const;
-    void addBlockCount(ir::ProcId proc, ir::BlockId b, uint64_t count);
-    void addEdgeCount(ir::ProcId proc, ir::BlockId from, ir::BlockId to,
+    /** Add @p count to a block/edge counter.  Returns false (and
+     *  records nothing) when @p proc or a block id is out of range for
+     *  the profiled program — untrusted serialized profiles go through
+     *  these, so they must reject rather than abort. */
+    bool addBlockCount(ir::ProcId proc, ir::BlockId b, uint64_t count);
+    bool addEdgeCount(ir::ProcId proc, ir::BlockId from, ir::BlockId to,
                       uint64_t count);
     /** @} */
 

@@ -222,7 +222,10 @@ PathProfiler::addPathCount(ProcId proc,
                            uint64_t count)
 {
     ps_assert_msg(!finalized_, "addPathCount after finalize()");
-    ps_assert(proc < tries_.size() && !seq.empty());
+    // Out-of-range ids and empty sequences come from untrusted
+    // serialized profiles: reject, don't abort.
+    if (proc >= tries_.size() || seq.empty())
+        return false;
     for (BlockId b : seq) {
         if (b >= condBlock_[proc].size())
             return false;

@@ -93,8 +93,9 @@ class PathProfiler : public interp::TraceListener
     /**
      * Add @p count occurrences of window @p seq (oldest first).  Must
      * be called before finalize(); fails (returns false) when the
-     * sequence exceeds the profiling budget — such a window could
-     * never have been recorded.
+     * sequence exceeds the profiling budget, is empty, or names an
+     * out-of-range procedure or block — untrusted serialized profiles
+     * go through here, so such input rejects rather than aborts.
      */
     bool addPathCount(ir::ProcId proc,
                       const std::vector<ir::BlockId> &seq,

@@ -1,6 +1,8 @@
 #include "profile/serialize.hpp"
 
+#include <charconv>
 #include <sstream>
+#include <vector>
 
 #include "support/strutil.hpp"
 
@@ -24,40 +26,107 @@ toText(const EdgeProfiler &ep)
     return out.str();
 }
 
+namespace {
+
+/**
+ * Strict unsigned parse of one whole token.  istream extraction into an
+ * unsigned type silently wraps negative input ("-1" becomes 2^64-1) and
+ * accepts partial tokens; profile text is untrusted, so every number
+ * goes through std::from_chars with overflow, sign and trailing-garbage
+ * rejection.
+ */
+bool
+parseU64(const std::string &tok, uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    const char *first = tok.data();
+    const char *last = first + tok.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+bool
+parseU32(const std::string &tok, uint32_t &out)
+{
+    uint64_t wide;
+    if (!parseU64(tok, wide) || wide > UINT32_MAX)
+        return false;
+    out = uint32_t(wide);
+    return true;
+}
+
+/** Split @p line on runs of spaces/tabs. */
+std::vector<std::string>
+splitWs(const std::string &line)
+{
+    std::vector<std::string> toks;
+    size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                                   line[i] == '\r'))
+            ++i;
+        const size_t start = i;
+        while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+               line[i] != '\r')
+            ++i;
+        if (i > start)
+            toks.push_back(line.substr(start, i - start));
+    }
+    return toks;
+}
+
+} // namespace
+
 bool
 fromText(const std::string &text, EdgeProfiler &ep, std::string &error)
 {
     std::istringstream in(text);
-    std::string header;
-    std::getline(in, header);
-    if (header != "edgeprofile v1") {
-        error = "bad header: '" + header + "'";
+    std::string line;
+    if (!std::getline(in, line) || line != "edgeprofile v1") {
+        error = "bad header: '" + line + "'";
         return false;
     }
-    std::string kind;
-    size_t line = 1;
-    while (in >> kind) {
-        ++line;
-        if (kind == "block") {
-            ProcId p;
-            BlockId b;
+    size_t lineno = 1;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::vector<std::string> tok = splitWs(line);
+        if (tok.empty())
+            continue;
+        if (tok[0] == "block") {
+            uint32_t p, b;
             uint64_t n;
-            if (!(in >> p >> b >> n)) {
-                error = strfmt("malformed block record at line %zu", line);
+            if (tok.size() != 4 || !parseU32(tok[1], p) ||
+                !parseU32(tok[2], b) || !parseU64(tok[3], n)) {
+                error = strfmt("line %zu: malformed block record",
+                               lineno);
                 return false;
             }
-            ep.addBlockCount(p, b, n);
-        } else if (kind == "edge") {
-            ProcId p;
-            BlockId from, to;
-            uint64_t n;
-            if (!(in >> p >> from >> to >> n)) {
-                error = strfmt("malformed edge record at line %zu", line);
+            if (!ep.addBlockCount(p, b, n)) {
+                error = strfmt("line %zu: block record names "
+                               "out-of-range proc %u or block %u",
+                               lineno, p, b);
                 return false;
             }
-            ep.addEdgeCount(p, from, to, n);
+        } else if (tok[0] == "edge") {
+            uint32_t p, from, to;
+            uint64_t n;
+            if (tok.size() != 5 || !parseU32(tok[1], p) ||
+                !parseU32(tok[2], from) || !parseU32(tok[3], to) ||
+                !parseU64(tok[4], n)) {
+                error = strfmt("line %zu: malformed edge record",
+                               lineno);
+                return false;
+            }
+            if (!ep.addEdgeCount(p, from, to, n)) {
+                error = strfmt("line %zu: edge record names "
+                               "out-of-range proc %u or blocks %u->%u",
+                               lineno, p, from, to);
+                return false;
+            }
         } else {
-            error = "unknown record kind: '" + kind + "'";
+            error = strfmt("line %zu: unknown record kind '%s'", lineno,
+                           tok[0].c_str());
             return false;
         }
     }
@@ -85,48 +154,77 @@ bool
 fromText(const std::string &text, PathProfiler &pp, std::string &error)
 {
     std::istringstream in(text);
-    std::string magic, v;
-    uint32_t max_branches, max_blocks;
-    int forward;
-    if (!(in >> magic >> v >> max_branches >> max_blocks >> forward) ||
-        magic != "pathprofile" || v != "v1") {
+    std::string line;
+    if (!std::getline(in, line)) {
         error = "bad path profile header";
         return false;
     }
-    if (max_branches != pp.params().maxBranches ||
-        max_blocks != pp.params().maxBlocks ||
-        (forward != 0) != pp.params().forwardPathsOnly) {
-        error = "path profile parameters do not match the profiler";
-        return false;
+    {
+        const std::vector<std::string> tok = splitWs(line);
+        uint32_t max_branches, max_blocks, forward;
+        if (tok.size() != 5 || tok[0] != "pathprofile" ||
+            tok[1] != "v1" || !parseU32(tok[2], max_branches) ||
+            !parseU32(tok[3], max_blocks) || !parseU32(tok[4], forward)) {
+            error = "bad path profile header";
+            return false;
+        }
+        if (max_branches != pp.params().maxBranches ||
+            max_blocks != pp.params().maxBlocks ||
+            (forward != 0) != pp.params().forwardPathsOnly) {
+            error = "path profile parameters do not match the profiler";
+            return false;
+        }
     }
 
-    std::string kind;
     std::vector<BlockId> seq;
-    size_t record = 0;
-    while (in >> kind) {
-        ++record;
-        if (kind != "path") {
-            error = "unknown record kind: '" + kind + "'";
+    size_t lineno = 1;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::vector<std::string> tok = splitWs(line);
+        if (tok.empty())
+            continue;
+        if (tok[0] != "path") {
+            error = strfmt("line %zu: unknown record kind '%s'", lineno,
+                           tok[0].c_str());
             return false;
         }
-        ProcId p;
-        uint64_t n;
-        size_t len;
-        if (!(in >> p >> n >> len) || len == 0) {
-            error = strfmt("malformed path record %zu", record);
+        uint32_t p;
+        uint64_t n, len;
+        if (tok.size() < 4 || !parseU32(tok[1], p) ||
+            !parseU64(tok[2], n) || !parseU64(tok[3], len) || len == 0) {
+            error = strfmt("line %zu: malformed path record", lineno);
             return false;
         }
-        seq.assign(len, 0);
-        for (size_t k = 0; k < len; ++k) {
-            if (!(in >> seq[k])) {
-                error = strfmt("truncated path record %zu", record);
+        // A window longer than the declared block budget could never
+        // have been recorded; rejecting here also bounds the
+        // allocation below against absurd lengths in corrupt input.
+        if (len > pp.params().maxBlocks) {
+            error = strfmt("line %zu: path length %llu exceeds the "
+                           "declared block budget %u",
+                           lineno, (unsigned long long)len,
+                           pp.params().maxBlocks);
+            return false;
+        }
+        if (tok.size() != 4 + size_t(len)) {
+            error = strfmt("line %zu: truncated path record "
+                           "(%zu of %llu block ids)",
+                           lineno, tok.size() - 4,
+                           (unsigned long long)len);
+            return false;
+        }
+        seq.assign(size_t(len), 0);
+        for (size_t k = 0; k < size_t(len); ++k) {
+            if (!parseU32(tok[4 + k], seq[k])) {
+                error = strfmt("line %zu: malformed path record",
+                               lineno);
                 return false;
             }
         }
         if (!pp.addPathCount(p, seq, n)) {
-            error = strfmt("path record %zu exceeds the profiling "
-                           "budget or names unknown blocks",
-                           record);
+            error = strfmt("line %zu: path record exceeds the "
+                           "profiling budget or names out-of-range "
+                           "proc/blocks",
+                           lineno);
             return false;
         }
     }

@@ -4,6 +4,7 @@
 
 #include "analysis/liveness.hpp"
 #include "support/logging.hpp"
+#include "support/strutil.hpp"
 
 namespace pathsched::regalloc {
 
@@ -300,40 +301,61 @@ findRecursiveProcs(const ir::Program &prog)
 
 } // namespace
 
+Status
+allocateProcedure(ir::Program &prog, ir::ProcId proc_id,
+                  uint32_t num_phys_regs, AllocStats &stats)
+{
+    ps_assert_msg(proc_id < prog.procs.size(),
+                  "allocateProcedure: procedure %u out of range",
+                  proc_id);
+    ir::Procedure &proc = prog.procs[proc_id];
+    if (proc.numParams > num_phys_regs) {
+        return Status::error(
+            ErrorKind::ScheduleFailed,
+            strfmt("proc %s: more parameters (%u) than machine "
+                   "registers (%u)",
+                   proc.name.c_str(), proc.numParams, num_phys_regs));
+    }
+    // Recursion is a whole-program property; recompute it here so the
+    // per-procedure path matches allocateProgram exactly (spilling
+    // never adds calls, so the answer is stable across procedures).
+    const std::vector<uint8_t> recursive = findRecursiveProcs(prog);
+
+    bool done = false;
+    for (int round = 0; round < 40 && !done; ++round) {
+        if (allocateProc(proc, num_phys_regs, stats)) {
+            ++stats.procsAllocated;
+            done = true;
+            break;
+        }
+        if (recursive[proc.id]) {
+            // Static spill slots are unsound under recursion
+            // (multiple live activations would share them).
+            break;
+        }
+        // Spill a small batch of the worst offenders and retry.
+        if (!spillLongestIntervals(prog, proc, 16, stats))
+            break; // nothing left to spill
+    }
+    if (!done) {
+        ++stats.procsSkipped;
+        inform("regalloc: pressure too high in %sproc %s; kept on "
+               "virtual registers",
+               recursive[proc.id] ? "recursive " : "",
+               proc.name.c_str());
+    }
+    return Status();
+}
+
 AllocStats
 allocateProgram(ir::Program &prog, uint32_t num_phys_regs)
 {
     AllocStats stats;
-    const std::vector<uint8_t> recursive = findRecursiveProcs(prog);
-
-    for (auto &proc : prog.procs) {
-        ps_assert_msg(proc.numParams <= num_phys_regs,
-                      "proc %s: more parameters than machine registers",
-                      proc.name.c_str());
-        bool done = false;
-        for (int round = 0; round < 40 && !done; ++round) {
-            if (allocateProc(proc, num_phys_regs, stats)) {
-                ++stats.procsAllocated;
-                done = true;
-                break;
-            }
-            if (recursive[proc.id]) {
-                // Static spill slots are unsound under recursion
-                // (multiple live activations would share them).
-                break;
-            }
-            // Spill a small batch of the worst offenders and retry.
-            if (!spillLongestIntervals(prog, proc, 16, stats))
-                break; // nothing left to spill
-
-        }
-        if (!done) {
-            ++stats.procsSkipped;
-            inform("regalloc: pressure too high in %sproc %s; kept on "
-                   "virtual registers",
-                   recursive[proc.id] ? "recursive " : "",
-                   proc.name.c_str());
-        }
+    for (ir::ProcId p = 0; p < prog.procs.size(); ++p) {
+        Status st = allocateProcedure(prog, p, num_phys_regs, stats);
+        if (!st.ok())
+            panic("register allocation failed for proc %s: %s",
+                  prog.procs[p].name.c_str(), st.toString().c_str());
     }
     return stats;
 }

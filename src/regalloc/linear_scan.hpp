@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "ir/procedure.hpp"
+#include "support/status.hpp"
 
 namespace pathsched::regalloc {
 
@@ -32,8 +33,22 @@ struct AllocStats
 };
 
 /**
+ * Allocate procedure @p proc of @p prog onto @p num_phys_regs
+ * registers, rewriting register operands in place and accumulating
+ * counters into @p stats — the recoverable per-procedure entry point
+ * behind allocateProgram().  Spill slots are appended to @p prog's
+ * data memory.  A procedure whose pressure cannot be reduced is *not*
+ * an error (it stays on virtual registers and counts as skipped, as
+ * documented above); a non-OK return means the procedure cannot be
+ * allocated at all (more parameters than machine registers).
+ */
+Status allocateProcedure(ir::Program &prog, ir::ProcId proc,
+                         uint32_t num_phys_regs, AllocStats &stats);
+
+/**
  * Allocate every procedure of @p prog onto @p num_phys_regs registers,
- * rewriting register operands in place.
+ * rewriting register operands in place.  Panics on failure — callers
+ * that need recovery use allocateProcedure().
  */
 AllocStats allocateProgram(ir::Program &prog, uint32_t num_phys_regs);
 

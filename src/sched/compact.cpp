@@ -4,12 +4,14 @@
 #include <memory>
 
 #include "analysis/liveness.hpp"
+#include "support/strutil.hpp"
 
 namespace pathsched::sched {
 
-CompactStats
-compactProgram(ir::Program &prog, const machine::MachineModel &mm,
-               const CompactOptions &options)
+Status
+compactProcedure(ir::Program &prog, ir::ProcId proc_id,
+                 const machine::MachineModel &mm,
+                 const CompactOptions &options, CompactStats &stats)
 {
     using Clock = std::chrono::steady_clock;
     static const obs::Observer no_obs;
@@ -20,56 +22,99 @@ compactProgram(ir::Program &prog, const machine::MachineModel &mm,
     // (as distributions only; intervals would overlap in a trace).
     const bool timed = ob.stats != nullptr;
 
-    CompactStats stats;
-    for (auto &proc : prog.procs) {
-        proc.syncSideTables();
+    ps_assert_msg(proc_id < prog.procs.size(),
+                  "compactProcedure: procedure %u out of range", proc_id);
+    ir::Procedure &proc = prog.procs[proc_id];
+    proc.syncSideTables();
 
-        // Phase 1: local optimization and renaming on the blocks that
-        // exist now.  Renaming appends stub blocks, which must not be
-        // re-processed (they are already minimal).
-        const size_t original_blocks = proc.blocks.size();
-        double opt_ms = 0, rename_ms = 0;
-        {
-            analysis::Liveness live(proc);
-            for (ir::BlockId b = 0; b < original_blocks; ++b) {
-                if (options.localOpt) {
-                    const auto t0 = timed ? Clock::now()
-                                          : Clock::time_point();
-                    stats.opt += optimizeBlock(proc, b, live);
-                    if (timed)
-                        opt_ms += std::chrono::duration<double,
-                                                        std::milli>(
-                                      Clock::now() - t0)
-                                      .count();
-                }
-                if (options.rename) {
-                    const auto t0 = timed ? Clock::now()
-                                          : Clock::time_point();
-                    stats.rename += renameBlock(proc, b, live);
-                    if (timed)
-                        rename_ms += std::chrono::duration<double,
-                                                           std::milli>(
-                                         Clock::now() - t0)
-                                         .count();
-                }
+    // Phase 1: local optimization and renaming on the blocks that
+    // exist now.  Renaming appends stub blocks, which must not be
+    // re-processed (they are already minimal).
+    const size_t original_blocks = proc.blocks.size();
+    double opt_ms = 0, rename_ms = 0;
+    {
+        analysis::Liveness live(proc);
+        for (ir::BlockId b = 0; b < original_blocks; ++b) {
+            if (options.localOpt) {
+                const auto t0 = timed ? Clock::now()
+                                      : Clock::time_point();
+                stats.opt += optimizeBlock(proc, b, live);
+                if (timed)
+                    opt_ms += std::chrono::duration<double,
+                                                    std::milli>(
+                                  Clock::now() - t0)
+                                  .count();
+            }
+            if (options.rename) {
+                const auto t0 = timed ? Clock::now()
+                                      : Clock::time_point();
+                stats.rename += renameBlock(proc, b, live);
+                if (timed)
+                    rename_ms += std::chrono::duration<double,
+                                                       std::milli>(
+                                     Clock::now() - t0)
+                                     .count();
             }
         }
-        if (timed) {
-            if (options.localOpt)
-                ob.addSample("localopt", opt_ms);
-            if (options.rename)
-                ob.addSample("rename", rename_ms);
-        }
-        proc.syncSideTables();
-
-        // Phase 2: liveness over the renamed procedure (fresh registers
-        // and stubs included), then schedule everything.
-        auto t = ob.time("presched");
-        analysis::Liveness live(proc);
-        for (ir::BlockId b = 0; b < proc.blocks.size(); ++b)
-            stats.sched += scheduleBlock(proc, b, live, mm,
-                                         options.priority);
     }
+    if (timed) {
+        if (options.localOpt)
+            ob.addSample("localopt", opt_ms);
+        if (options.rename)
+            ob.addSample("rename", rename_ms);
+    }
+    proc.syncSideTables();
+
+    // Phase 2: liveness over the renamed procedure (fresh registers
+    // and stubs included), then schedule everything.
+    auto t = ob.time("presched");
+    analysis::Liveness live(proc);
+    for (ir::BlockId b = 0; b < proc.blocks.size(); ++b)
+        stats.sched += scheduleBlock(proc, b, live, mm,
+                                     options.priority);
+
+    // Every block must have come out with a usable schedule; a miss
+    // means the procedure cannot be costed and must be quarantined.
+    for (ir::BlockId b = 0; b < proc.blocks.size(); ++b) {
+        const ir::BlockSchedule &sched = proc.schedules[b];
+        if (!sched.valid ||
+            sched.cycleOf.size() != proc.blocks[b].instrs.size()) {
+            return Status::error(
+                ErrorKind::ScheduleFailed,
+                strfmt("proc %s block %u has no valid schedule",
+                       proc.name.c_str(), b));
+        }
+    }
+    return Status();
+}
+
+CompactStats
+compactProgram(ir::Program &prog, const machine::MachineModel &mm,
+               const CompactOptions &options)
+{
+    CompactStats stats;
+    for (ir::ProcId p = 0; p < prog.procs.size(); ++p) {
+        Status st = compactProcedure(prog, p, mm, options, stats);
+        if (!st.ok())
+            panic("compaction failed for proc %s: %s",
+                  prog.procs[p].name.c_str(), st.toString().c_str());
+    }
+    return stats;
+}
+
+ScheduleStats
+scheduleProcedure(ir::Program &prog, ir::ProcId proc_id,
+                  const machine::MachineModel &mm, SchedPriority priority)
+{
+    ScheduleStats stats;
+    ps_assert_msg(proc_id < prog.procs.size(),
+                  "scheduleProcedure: procedure %u out of range",
+                  proc_id);
+    ir::Procedure &proc = prog.procs[proc_id];
+    proc.syncSideTables();
+    analysis::Liveness live(proc);
+    for (ir::BlockId b = 0; b < proc.blocks.size(); ++b)
+        stats += scheduleBlock(proc, b, live, mm, priority);
     return stats;
 }
 
@@ -78,12 +123,8 @@ scheduleProgram(ir::Program &prog, const machine::MachineModel &mm,
                 SchedPriority priority)
 {
     ScheduleStats stats;
-    for (auto &proc : prog.procs) {
-        proc.syncSideTables();
-        analysis::Liveness live(proc);
-        for (ir::BlockId b = 0; b < proc.blocks.size(); ++b)
-            stats += scheduleBlock(proc, b, live, mm, priority);
-    }
+    for (ir::ProcId p = 0; p < prog.procs.size(); ++p)
+        stats += scheduleProcedure(prog, p, mm, priority);
     return stats;
 }
 

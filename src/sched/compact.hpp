@@ -20,6 +20,7 @@
 #include "sched/local_opt.hpp"
 #include "sched/renamer.hpp"
 #include "sched/scheduler.hpp"
+#include "support/status.hpp"
 
 namespace pathsched::sched {
 
@@ -45,10 +46,31 @@ struct CompactStats
     ScheduleStats sched;
 };
 
-/** Compact every block of every procedure of @p prog in place. */
+/**
+ * Compact every block of procedure @p proc of @p prog in place,
+ * accumulating counters into @p stats — the recoverable per-procedure
+ * entry point behind compactProgram().  Returns
+ * ErrorKind::ScheduleFailed when any block ends up without a valid
+ * schedule; the procedure may be partially rewritten then, so the
+ * caller must discard or restore it.
+ */
+Status compactProcedure(ir::Program &prog, ir::ProcId proc,
+                        const machine::MachineModel &mm,
+                        const CompactOptions &options,
+                        CompactStats &stats);
+
+/** Compact every block of every procedure of @p prog in place.
+ *  Panics on failure — callers that need recovery use
+ *  compactProcedure(). */
 CompactStats compactProgram(ir::Program &prog,
                             const machine::MachineModel &mm,
                             const CompactOptions &options = CompactOptions());
+
+/** scheduleProgram() for a single procedure (the per-procedure
+ *  postschedule used by the pipeline's quarantine path). */
+ScheduleStats scheduleProcedure(
+    ir::Program &prog, ir::ProcId proc, const machine::MachineModel &mm,
+    SchedPriority priority = SchedPriority::CriticalPath);
 
 /**
  * Re-run list scheduling only (no optimization or renaming) over every

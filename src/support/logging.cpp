@@ -20,7 +20,15 @@ vreport(const char *tag, const char *file, int line, const char *fmt,
     std::fflush(stderr);
 }
 
+int g_panic_exit_code = -1;
+
 } // namespace
+
+void
+setPanicExitCode(int code)
+{
+    g_panic_exit_code = code;
+}
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
@@ -29,6 +37,8 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     vreport("panic", file, line, fmt, ap);
     va_end(ap);
+    if (g_panic_exit_code >= 0)
+        std::_Exit(g_panic_exit_code);
     std::abort();
 }
 

@@ -17,6 +17,15 @@ namespace pathsched {
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));
 
+/**
+ * Make panic() exit with @p code instead of abort()ing.  A negative
+ * code restores the default abort.  Drivers that document distinct
+ * exit codes (pathsched_cli: 3 = internal bug) set this at startup;
+ * libraries and tests leave the abort default so death tests and core
+ * dumps keep working.
+ */
+void setPanicExitCode(int code);
+
 /** Print a printf-style message tagged "fatal:" and exit(1). */
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));

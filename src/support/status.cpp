@@ -1,0 +1,52 @@
+#include "support/status.hpp"
+
+namespace pathsched {
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::BadProfile: return "BadProfile";
+      case ErrorKind::VerifyFailed: return "VerifyFailed";
+      case ErrorKind::ScheduleFailed: return "ScheduleFailed";
+      case ErrorKind::OutputMismatch: return "OutputMismatch";
+      case ErrorKind::StepLimit: return "StepLimit";
+      case ErrorKind::Injected: return "Injected";
+    }
+    return "<bad>";
+}
+
+bool
+parseErrorKind(const std::string &token, ErrorKind &out)
+{
+    if (token == "profile" || token == "BadProfile")
+        out = ErrorKind::BadProfile;
+    else if (token == "verify" || token == "VerifyFailed")
+        out = ErrorKind::VerifyFailed;
+    else if (token == "schedule" || token == "ScheduleFailed")
+        out = ErrorKind::ScheduleFailed;
+    else if (token == "output" || token == "OutputMismatch")
+        out = ErrorKind::OutputMismatch;
+    else if (token == "steplimit" || token == "StepLimit")
+        out = ErrorKind::StepLimit;
+    else if (token == "injected" || token == "Injected")
+        out = ErrorKind::Injected;
+    else
+        return false;
+    return true;
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    std::string s = errorKindName(kind_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    return s;
+}
+
+} // namespace pathsched

@@ -62,8 +62,12 @@ TEST(Diagnostics, RunawayLoopHitsStepCeiling)
     interp::InterpOptions opts;
     opts.maxSteps = 1000;
     interp::Interpreter interp(prog, opts);
-    EXPECT_EXIT(interp.run({}), ::testing::ExitedWithCode(1),
-                "exceeded");
+    // The ceiling is a typed, recoverable stop (not a fatal exit): the
+    // caller classifies it, e.g. runPipeline turns a training-run limit
+    // into ErrorKind::StepLimit.
+    const interp::RunResult res = interp.run({});
+    EXPECT_TRUE(res.stepLimit);
+    EXPECT_EQ(res.dynInstrs, 1000u);
 }
 
 TEST(Diagnostics, VerifyOrDiePanicsOnBrokenProgram)

@@ -35,7 +35,8 @@ materialize(Program &prog, const Trace &t)
     state.traceIsLoop.assign(1, 0);
     state.traceEnlarged.assign(1, 0);
     FormStats stats;
-    materializeTraces(state, stats);
+    const Status st = materializeTraces(state, stats);
+    EXPECT_TRUE(st.ok()) << st.toString();
     return stats;
 }
 

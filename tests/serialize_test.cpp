@@ -114,6 +114,103 @@ TEST(SerializePath, RejectsOverBudgetRecord)
     EXPECT_FALSE(fromText(bogus, pp, error));
 }
 
+// ---------------------------------------------------------------------
+// Hardening: corrupt profile text must be rejected with a precise
+// error, never wrapped (negative counts), silently truncated, or let
+// through to index profiler state out of range.
+
+TEST(SerializeEdge, RejectsOutOfRangeIds)
+{
+    const auto w = workloads::makeAlt();
+    std::string error;
+    {
+        // Proc 99 does not exist.
+        EdgeProfiler ep(w.program);
+        EXPECT_FALSE(
+            fromText("edgeprofile v1\nblock 99 0 1\n", ep, error));
+        EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+        EXPECT_NE(error.find("out-of-range"), std::string::npos);
+    }
+    {
+        // Block 99 does not exist in proc 0.
+        EdgeProfiler ep(w.program);
+        EXPECT_FALSE(
+            fromText("edgeprofile v1\nblock 0 99 1\n", ep, error));
+    }
+    {
+        // Edge records must range-check both endpoints too.
+        EdgeProfiler ep(w.program);
+        EXPECT_FALSE(
+            fromText("edgeprofile v1\nedge 0 0 99 1\n", ep, error));
+        EXPECT_FALSE(
+            fromText("edgeprofile v1\nedge 0 99 0 1\n", ep, error));
+    }
+}
+
+TEST(SerializeEdge, RejectsNegativeAndOverflowingCounts)
+{
+    const auto w = workloads::makeAlt();
+    std::string error;
+    EdgeProfiler ep(w.program);
+    // istream >> uint64_t would wrap "-5" to 2^64-5; from_chars must
+    // reject the sign outright.
+    EXPECT_FALSE(fromText("edgeprofile v1\nblock 0 1 -5\n", ep, error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_FALSE(fromText(
+        "edgeprofile v1\nblock 0 1 99999999999999999999999\n", ep,
+        error));
+    EXPECT_FALSE(fromText("edgeprofile v1\nblock 0 -1 5\n", ep, error));
+    // Sanity: the uncorrupted record is fine.
+    EXPECT_TRUE(fromText("edgeprofile v1\nblock 0 1 5\n", ep, error))
+        << error;
+}
+
+TEST(SerializeEdge, RejectsTruncatedAndOverlongRecords)
+{
+    const auto w = workloads::makeAlt();
+    std::string error;
+    EdgeProfiler ep(w.program);
+    EXPECT_FALSE(fromText("edgeprofile v1\nblock 0 1\n", ep, error));
+    EXPECT_FALSE(fromText("edgeprofile v1\nedge 0 0 1\n", ep, error));
+    EXPECT_FALSE(
+        fromText("edgeprofile v1\nblock 0 1 5 junk\n", ep, error));
+}
+
+TEST(SerializePath, RejectsCorruptRecords)
+{
+    const auto w = workloads::makeAlt();
+    std::string error;
+    {
+        // Unknown proc id: reject, do not abort.
+        PathProfiler pp(w.program, {});
+        EXPECT_FALSE(fromText("pathprofile v1 15 64 0\npath 99 5 1 0\n",
+                              pp, error));
+    }
+    {
+        // Truncated: record declares 3 ids but carries 2.
+        PathProfiler pp(w.program, {});
+        EXPECT_FALSE(fromText("pathprofile v1 15 64 0\npath 0 5 3 0 1\n",
+                              pp, error));
+        EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+    }
+    {
+        // Declared length far beyond the block budget must be rejected
+        // before any allocation sized by it.
+        PathProfiler pp(w.program, {});
+        EXPECT_FALSE(fromText(
+            "pathprofile v1 15 64 0\npath 0 5 99999999999 0\n", pp,
+            error));
+    }
+    {
+        // Zero-length and negative-count records.
+        PathProfiler pp(w.program, {});
+        EXPECT_FALSE(
+            fromText("pathprofile v1 15 64 0\npath 0 5 0\n", pp, error));
+        EXPECT_FALSE(fromText("pathprofile v1 15 64 0\npath 0 -5 1 0\n",
+                              pp, error));
+    }
+}
+
 /** Property: save/load is invisible to every pathFreq query. */
 class PathRoundTrip : public ::testing::TestWithParam<uint64_t>
 {};

@@ -12,6 +12,11 @@
  *   pathsched_cli --workload corr --dump-paths corr.paths
  *   pathsched_cli --workload wc --config all --json out.json --trace out.trace
  *   pathsched_cli --workload wc --config P4 --stats
+ *   pathsched_cli --workload wc --config P4 --inject stage=form,proc=3
+ *
+ * Exit codes: 0 = success, 1 = user/configuration error, 2 = all runs
+ * completed but at least one procedure degraded to the BB fallback,
+ * 3 = internal error (a pathsched bug).
  */
 
 #include <cstdio>
@@ -27,7 +32,9 @@
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
 #include "profile/serialize.hpp"
+#include "support/faultinject.hpp"
 #include "support/logging.hpp"
+#include "support/status.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace pathsched;
@@ -62,7 +69,15 @@ usage()
         "                          in chrome://tracing or Perfetto)\n"
         "  --stats                 collect interpreter statistics and\n"
         "                          dump the stat registry after the runs\n"
-        "  --list                  list workloads and exit\n");
+        "  --inject SPEC           arm deterministic fault injection,\n"
+        "                          e.g. stage=form,proc=3,kind=verify\n"
+        "                          (';' separates several faults; see\n"
+        "                          docs/robustness.md).  Repeatable.\n"
+        "  --inject-seed N         RNG seed for prob= faults (default 0)\n"
+        "  --list                  list workloads and exit\n"
+        "\n"
+        "exit codes: 0 success; 1 user error; 2 completed with BB\n"
+        "degradations; 3 internal error\n");
 }
 
 bool
@@ -105,11 +120,17 @@ dumpPaths(const workloads::Workload &w, const std::string &file,
 int
 main(int argc, char **argv)
 {
+    // Distinguish internal bugs (exit 3) from user errors (fatal's
+    // exit 1) in this driver's documented exit codes.
+    setPanicExitCode(3);
+
     std::string workload = "all";
     std::string config = "all";
     std::string dump_paths;
     std::string json_file;
     std::string trace_file;
+    std::vector<std::string> inject_specs;
+    uint64_t inject_seed = 0;
     bool want_stats = false;
     pipeline::PipelineOptions opts;
 
@@ -159,6 +180,10 @@ main(int argc, char **argv)
             trace_file = next();
         } else if (arg == "--stats") {
             want_stats = true;
+        } else if (arg == "--inject") {
+            inject_specs.push_back(next());
+        } else if (arg == "--inject-seed") {
+            inject_seed = std::stoull(next());
         } else if (arg == "--list") {
             for (const auto &n : workloads::benchmarkNames())
                 std::printf("%s\n", n.c_str());
@@ -191,6 +216,19 @@ main(int argc, char **argv)
         configs.push_back(c);
     }
 
+    // Fault injection: armed once, shared across every run (fire
+    // budgets are global, so `count=1` means one fault in the whole
+    // invocation).
+    FaultInjector injector(inject_seed);
+    for (const auto &spec : inject_specs) {
+        std::string err;
+        if (!injector.parse(spec, err))
+            fatal("bad --inject spec '%s': %s", spec.c_str(),
+                  err.c_str());
+    }
+    if (!injector.empty())
+        opts.faults = &injector;
+
     // Observability sinks: the registry feeds --json and --stats, the
     // stage trace feeds --trace.  Null sinks disable collection.
     obs::StatRegistry registry;
@@ -207,6 +245,7 @@ main(int argc, char **argv)
     opts.interpStats = want_stats;
 
     std::vector<pipeline::ReportRun> report_runs;
+    bool any_degraded = false;
     // `--json -` owns stdout: keep the human table off it.
     const bool print_table = json_file != "-";
 
@@ -223,6 +262,18 @@ main(int argc, char **argv)
             auto r = pipeline::runPipeline(w.program, w.train, w.test, c,
                                            opts);
             run_timer.stop();
+            if (!r.status.ok())
+                fatal("%s/%s did not complete: %s", name.c_str(),
+                      r.name.c_str(), r.status.toString().c_str());
+            if (r.degradedRun()) {
+                any_degraded = true;
+                for (const auto &d : r.degraded)
+                    std::fprintf(stderr,
+                                 "degraded: %s/%s proc %s at %s (%s)\n",
+                                 name.c_str(), r.name.c_str(),
+                                 d.procName.c_str(), d.stage.c_str(),
+                                 errorKindName(d.kind));
+            }
             if (print_table)
                 std::printf(
                     "%-8s %-4s %12llu %8.3f %9.1f %9.2f %11.2f\n",
@@ -262,5 +313,5 @@ main(int argc, char **argv)
             std::fprintf(stderr, "wrote %zu runs to %s\n",
                          report_runs.size(), json_file.c_str());
     }
-    return 0;
+    return any_degraded ? 2 : 0;
 }
