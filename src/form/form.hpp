@@ -26,6 +26,7 @@
 #include "obs/timer.hpp"
 #include "profile/edge_profile.hpp"
 #include "profile/path_profile.hpp"
+#include "support/budget.hpp"
 #include "support/status.hpp"
 
 namespace pathsched::form {
@@ -66,6 +67,15 @@ struct FormConfig
      * the prefix, e.g. "time.P4.form.").  Null disables timing.
      */
     const obs::Observer *observer = nullptr;
+    /**
+     * Optional resource budget (not owned; see support/budget.hpp).
+     * formProcedure honours budget->deadline (DeadlineExceeded) and
+     * budget->formGrowthOps, a cap on the ops the formed procedure may
+     * gain over its original body (BudgetExceeded) — the governed
+     * replacement for hoping the per-trace unroll/size caps bound
+     * whole-procedure growth.  Null disables all checks.
+     */
+    const ResourceBudget *budget = nullptr;
 };
 
 /** Counters reported by formProgram. */

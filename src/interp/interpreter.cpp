@@ -106,6 +106,13 @@ Interpreter::run(const ProgramInput &input)
         l->onProcEnter(prog_.mainProc);
 
     uint64_t steps = 0;
+    // Effective step ceiling: the typed budget when it undercuts the
+    // runaway guard, else the guard itself (one compare per step).
+    const uint64_t step_cap =
+        opts_.budgetSteps != 0 && opts_.budgetSteps < opts_.maxSteps
+            ? opts_.budgetSteps
+            : opts_.maxSteps;
+    const bool has_deadline = opts_.deadline.active();
 
     // Listeners that asked for per-op callbacks (see wantsOps()).
     std::vector<TraceListener *> op_listeners;
@@ -150,10 +157,23 @@ Interpreter::run(const ProgramInput &input)
             const size_t i = f.instrIdx;
             const Instruction &ins = bb.instrs[i];
 
-            if (++steps > opts_.maxSteps) {
+            if (++steps > step_cap) {
                 // Typed, recoverable stop: unwind every frame and let
                 // the caller decide how severe a runaway run is.
-                res.stepLimit = true;
+                if (step_cap < opts_.maxSteps)
+                    res.budgetStop = true;
+                else
+                    res.stepLimit = true;
+                res.stopProc = f.proc;
+                depth = 0;
+                frame_switch = true;
+                break;
+            }
+            if (has_deadline &&
+                (steps & (kDeadlineCheckStride - 1)) == 0 &&
+                opts_.deadline.expired()) {
+                res.deadlineStop = true;
+                res.stopProc = f.proc;
                 depth = 0;
                 frame_switch = true;
                 break;

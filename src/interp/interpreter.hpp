@@ -26,8 +26,19 @@
 #include "interp/listener.hpp"
 #include "ir/procedure.hpp"
 #include "layout/code_layout.hpp"
+#include "support/budget.hpp"
 
 namespace pathsched::interp {
+
+/** Default runaway-guard step ceiling (InterpOptions::maxSteps).  The
+ *  pipeline's PipelineOptions::maxSteps refers to this same constant so
+ *  the two defaults can never drift apart. */
+inline constexpr uint64_t kDefaultMaxSteps = 4'000'000'000ULL;
+
+/** The deadline is polled every this many steps, so an expired wall
+ *  budget truncates a run within ~microseconds while the clock read
+ *  stays far off the per-step hot path. */
+inline constexpr uint64_t kDeadlineCheckStride = 8192;
 
 /** Input to one program run: main() arguments and a data-memory image. */
 struct ProgramInput
@@ -60,6 +71,20 @@ struct RunResult
      * a miscompiled-program symptom (transformed code diverging).
      */
     bool stepLimit = false;
+    /** The run stopped at InterpOptions::budgetSteps (the typed
+     *  resource budget, distinct from the maxSteps runaway guard). */
+    bool budgetStop = false;
+    /** The run stopped because InterpOptions::deadline expired. */
+    bool deadlineStop = false;
+    /** Any of the three truncation causes fired. */
+    bool
+    truncated() const
+    {
+        return stepLimit || budgetStop || deadlineStop;
+    }
+    /** Procedure executing when a truncated run stopped — the budget
+     *  exhaustion's attribution hint; kNoProc on a complete run. */
+    ir::ProcId stopProc = ir::kNoProc;
 
     /** @name Superblock statistics (Fig. 7)
      *  @{
@@ -91,7 +116,14 @@ struct InterpOptions
 {
     /** Stop the run after this many operations (runaway guard); the
      *  truncated result carries RunResult::stepLimit = true. */
-    uint64_t maxSteps = 4'000'000'000ULL;
+    uint64_t maxSteps = kDefaultMaxSteps;
+    /** Typed step budget (0 = none): exceeding it truncates the run
+     *  with RunResult::budgetStop and a stopProc attribution.  Budgets
+     *  at or above maxSteps defer to the runaway guard. */
+    uint64_t budgetSteps = 0;
+    /** Cooperative wall budget, polled every kDeadlineCheckStride
+     *  steps; expiry truncates with RunResult::deadlineStop. */
+    Deadline deadline;
     /** Code layout; required when an I-cache is attached. */
     const layout::CodeLayout *codeLayout = nullptr;
     /** Instruction cache; optional. */

@@ -20,6 +20,18 @@ PipelineResult::totalMs() const
     return total;
 }
 
+size_t
+PipelineResult::budgetDegradations() const
+{
+    size_t n = 0;
+    for (const auto &d : degraded) {
+        if (d.kind == ErrorKind::BudgetExceeded ||
+            d.kind == ErrorKind::DeadlineExceeded)
+            ++n;
+    }
+    return n;
+}
+
 const char *
 configName(SchedConfig config)
 {
@@ -106,6 +118,14 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     const bool want_interp_stats =
         options.interpStats && base.stats != nullptr;
 
+    // Resource governance: null when no budget is set, so the entire
+    // budget machinery vanishes and the run is bit-identical to an
+    // unbudgeted build.
+    const ResourceBudget &bud = options.budget;
+    const bool budget_active = !bud.unlimited();
+    const ResourceBudget *budp = budget_active ? &bud : nullptr;
+    result.budgeted = budget_active;
+
     // --- 1. Training run on the original program: gather profiles and
     //        dynamic call counts for procedure placement. ---
     profile::EdgeProfiler edge_profile(program);
@@ -115,6 +135,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         auto t = timed.time("train");
         interp::InterpOptions iopts;
         iopts.maxSteps = options.maxSteps;
+        iopts.budgetSteps = bud.interpSteps;
+        iopts.deadline = bud.deadline;
         iopts.collectCallCounts = true;
         interp::Interpreter interp(program, iopts);
         const bool need_edge = config == SchedConfig::M4 ||
@@ -144,6 +166,22 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
             ErrorKind::StepLimit,
             strfmt("training run exceeded %llu steps",
                    (unsigned long long)options.maxSteps));
+        return result;
+    }
+    if (train_run.budgetStop) {
+        // The training run executes the *original* program, so there is
+        // no procedure to degrade: the budget is simply too small for
+        // this workload.
+        result.status = Status::error(
+            ErrorKind::BudgetExceeded,
+            strfmt("training run exceeded the %llu-step budget",
+                   (unsigned long long)bud.interpSteps));
+        return result;
+    }
+    if (train_run.deadlineStop) {
+        result.status = Status::error(
+            ErrorKind::DeadlineExceeded,
+            "deadline expired during the training run");
         return result;
     }
     result.trainSteps = train_run.dynInstrs;
@@ -176,6 +214,24 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
              st.toString().c_str());
         result.degraded.push_back({p, program.procs[p].name, stage,
                                    st.kind(), st.message()});
+    };
+
+    // An expired run-wide deadline ends the run with a typed status at
+    // the next per-procedure loop boundary (the stage that noticed the
+    // expiry has already degraded its in-flight procedure by then).
+    auto deadlineUp = [&](const char *stage) -> bool {
+        if (!budget_active)
+            return false;
+        Status st = deadlineStatus(budp, stage);
+        if (st.ok())
+            return false;
+        result.status = std::move(st);
+        return true;
+    };
+    // Per-procedure budget view: quarantined procedures already run
+    // their BB fallback body, which is always budget-free.
+    auto budgetFor = [&](ir::ProcId p) -> const ResourceBudget * {
+        return quarantined[p] ? nullptr : budp;
     };
 
     // Restore procedure p's original (basic-block) body and re-run the
@@ -218,7 +274,10 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         const obs::Observer form_obs = timed.withPrefix("form.");
         fc.observer = &form_obs;
         for (ir::ProcId p = 0; p < num_procs; ++p) {
+            if (deadlineUp("form"))
+                return result;
             const char *stage = "form";
+            fc.budget = budgetFor(p);
             Status st = inject(stage, p);
             if (st.ok())
                 st = form::formProcedure(prog, p, &edge_profile,
@@ -256,6 +315,9 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         const obs::Observer compact_obs = timed.withPrefix("compact.");
         copts.observer = &compact_obs;
         for (ir::ProcId p = 0; p < num_procs; ++p) {
+            if (deadlineUp("compact"))
+                return result;
+            copts.budget = budgetFor(p);
             Status st = inject("compact", p);
             if (st.ok())
                 st = sched::compactProcedure(prog, p, options.machine,
@@ -284,10 +346,15 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         {
             auto t = timed.time("regalloc");
             for (ir::ProcId p = 0; p < num_procs; ++p) {
+                if (deadlineUp("regalloc")) {
+                    t.stop();
+                    return result;
+                }
                 Status st = inject("regalloc", p);
                 if (st.ok())
                     st = regalloc::allocateProcedure(
-                        prog, p, options.machine.numRegs, result.alloc);
+                        prog, p, options.machine.numRegs, result.alloc,
+                        budgetFor(p));
                 if (!st.ok()) {
                     noteFailure(p, "regalloc", st);
                     rebuildAsBB(p, StageReached::Regalloc);
@@ -314,6 +381,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     // Post-transform IR verification, per procedure so one broken
     // procedure quarantines instead of killing the run.
     for (ir::ProcId p = 0; p < num_procs; ++p) {
+        if (deadlineUp("verify"))
+            return result;
         Status st = inject("verify", p);
         if (st.ok())
             st = ir::verifyProcStatus(prog, p,
@@ -356,6 +425,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         auto t = timed.time(stage_name);
         interp::InterpOptions iopts;
         iopts.maxSteps = options.maxSteps;
+        iopts.budgetSteps = bud.interpSteps;
+        iopts.deadline = bud.deadline;
         iopts.codeLayout = &code_layout;
         icache::ICache cache(options.cacheParams);
         if (options.useICache)
@@ -379,6 +450,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         auto t = timed.time("verify");
         interp::InterpOptions iopts;
         iopts.maxSteps = options.maxSteps;
+        iopts.budgetSteps = bud.interpSteps;
+        iopts.deadline = bud.deadline;
         interp::Interpreter interp(program, iopts);
         ref = interp.run(test);
         t.stop();
@@ -393,9 +466,62 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                    (unsigned long long)options.maxSteps));
         return result;
     }
+    if (ref.budgetStop) {
+        // The original program itself exceeds the step budget, so no
+        // amount of degrading can bring the measured run under it.
+        result.status = Status::error(
+            ErrorKind::BudgetExceeded,
+            strfmt("reference test run exceeded the %llu-step budget",
+                   (unsigned long long)bud.interpSteps));
+        return result;
+    }
+    if (ref.deadlineStop) {
+        result.status = Status::error(
+            ErrorKind::DeadlineExceeded,
+            "deadline expired during the reference test run");
+        return result;
+    }
+
+    // A budget-truncated measured run carries a stopProc attribution:
+    // degrade that procedure to BB and re-measure.  Bounded — each
+    // round quarantines one more procedure, and the reference run has
+    // already shown the all-BB limit fits the budget, so attribution
+    // running dry (or going in circles) is reported as a typed error,
+    // never an abort.
+    for (size_t round = 0; result.test.budgetStop ||
+                           result.test.deadlineStop;
+         ++round) {
+        if (result.test.deadlineStop) {
+            result.status = Status::error(
+                ErrorKind::DeadlineExceeded,
+                "deadline expired during the measured test run");
+            return result;
+        }
+        const ir::ProcId sp = result.test.stopProc;
+        if (sp == ir::kNoProc || sp >= num_procs || quarantined[sp] ||
+            round >= num_procs) {
+            result.status = Status::error(
+                ErrorKind::BudgetExceeded,
+                strfmt("test run exceeded the %llu-step budget even "
+                       "after degrading %zu procedures",
+                       (unsigned long long)bud.interpSteps,
+                       result.degraded.size()));
+            return result;
+        }
+        noteFailure(sp, "interp",
+                    Status::error(
+                        ErrorKind::BudgetExceeded,
+                        strfmt("test run exceeded the %llu-step budget "
+                               "in proc %s",
+                               (unsigned long long)bud.interpSteps,
+                               program.procs[sp].name.c_str())));
+        rebuildAsBB(sp, StageReached::Postsched);
+        runLayout("layout-retry");
+        runTest("test-retry");
+    }
 
     auto matches = [&]() {
-        return !result.test.stepLimit &&
+        return !result.test.truncated() &&
                ref.output == result.test.output &&
                ref.returnValue == result.test.returnValue;
     };
@@ -448,6 +574,16 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         // "layout" leaf in the stats registry, which forbids that.
         runLayout("layout-retry");
         runTest("test-retry");
+        if (result.test.budgetStop || result.test.deadlineStop) {
+            // The retry itself ran out of budget: a governance limit,
+            // not a miscompile — report it typed instead of asserting.
+            result.status = Status::error(
+                result.test.deadlineStop ? ErrorKind::DeadlineExceeded
+                                         : ErrorKind::BudgetExceeded,
+                "resource budget exhausted during the output-compare "
+                "retry run");
+            return result;
+        }
         result.outputMatches = matches();
         ps_assert_msg(result.outputMatches,
                       "config %s changed program behaviour even after "
@@ -477,12 +613,7 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     // --- 8. Robustness accounting. ---
     base.addCounter("robust" + cfg_dot + "degraded",
                     result.degraded.size());
-    static constexpr ErrorKind kAllKinds[] = {
-        ErrorKind::BadProfile,     ErrorKind::VerifyFailed,
-        ErrorKind::ScheduleFailed, ErrorKind::OutputMismatch,
-        ErrorKind::StepLimit,      ErrorKind::Injected,
-    };
-    for (ErrorKind k : kAllKinds) {
+    for (ErrorKind k : kAllErrorKinds) {
         uint64_t n = 0;
         for (const auto &d : result.degraded) {
             if (d.kind == k)
@@ -491,6 +622,16 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         if (n > 0)
             base.addCounter(
                 "robust" + cfg_dot + "errors." + errorKindName(k), n);
+    }
+    if (budget_active) {
+        // Gated on governance being on, so unbudgeted runs register
+        // exactly the same stats as before the budget layer existed.
+        base.addCounter("robust" + cfg_dot + "budget.exhausted",
+                        result.budgetDegradations());
+        if (bud.deadline.active())
+            base.setGauge("robust" + cfg_dot +
+                              "budget.deadlineRemainingMs",
+                          double(bud.deadline.remainingMs()));
     }
 
     return result;

@@ -36,6 +36,7 @@
 #include "profile/path_profile.hpp"
 #include "regalloc/linear_scan.hpp"
 #include "sched/compact.hpp"
+#include "support/budget.hpp"
 #include "support/faultinject.hpp"
 #include "support/status.hpp"
 
@@ -80,8 +81,21 @@ struct PipelineOptions
     /** List-scheduler candidate priority (ablation). */
     sched::SchedPriority schedPriority =
         sched::SchedPriority::CriticalPath;
-    /** Interpreter step ceiling. */
-    uint64_t maxSteps = 4'000'000'000ULL;
+    /** Interpreter step ceiling (the runaway guard; the default is the
+     *  interpreter's own, so the two can never drift apart). */
+    uint64_t maxSteps = interp::kDefaultMaxSteps;
+
+    /**
+     * Resource governance (docs/robustness.md): a run-wide deadline
+     * plus per-procedure growth/op budgets and an interpreter step
+     * budget.  A per-procedure budget exhaustion degrades exactly the
+     * affected procedure to BB through the quarantine path; deadline
+     * expiry degrades the in-flight procedure and then ends the run
+     * with a typed DeadlineExceeded status.  Default-constructed =
+     * no governance: the pipeline behaves bit-identically to an
+     * unbudgeted run.
+     */
+    ResourceBudget budget;
 
     /** @name Observability (see docs/observability.md)
      *
@@ -119,7 +133,8 @@ struct Degradation
     ir::ProcId proc = 0;
     std::string procName;
     /** Stage boundary that failed: "form", "materialize", "compact",
-     *  "regalloc", "verify" or "output-compare". */
+     *  "regalloc", "verify", "output-compare", or "interp" (the
+     *  measured test run blew its step budget inside this procedure). */
     std::string stage;
     ErrorKind kind = ErrorKind::Injected;
     std::string message;
@@ -153,6 +168,10 @@ struct PipelineResult
     std::vector<Degradation> degraded;
     /** The run completed but at least one procedure fell back to BB. */
     bool degradedRun() const { return !degraded.empty(); }
+    /** The run was governed by a non-empty ResourceBudget. */
+    bool budgeted = false;
+    /** Degradations caused by budget or deadline exhaustion. */
+    size_t budgetDegradations() const;
 
     /** Wall time of every pipeline stage, in execution order (always
      *  collected; independent of PipelineOptions::observer). */

@@ -23,6 +23,14 @@ resultToJson(obs::JsonWriter &w, const std::string &workload,
     // procedures that fell back to BB during this run.
     w.member("status", r.status.toString());
     w.member("degraded", uint64_t(r.degraded.size()));
+    if (r.budgeted) {
+        // Gated on governance so unbudgeted reports stay byte-identical
+        // to pre-budget builds.
+        w.key("budget");
+        w.beginObject();
+        w.member("exhausted", uint64_t(r.budgetDegradations()));
+        w.endObject();
+    }
     if (!r.degraded.empty()) {
         w.key("degradations");
         w.beginArray();

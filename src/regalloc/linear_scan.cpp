@@ -303,7 +303,8 @@ findRecursiveProcs(const ir::Program &prog)
 
 Status
 allocateProcedure(ir::Program &prog, ir::ProcId proc_id,
-                  uint32_t num_phys_regs, AllocStats &stats)
+                  uint32_t num_phys_regs, AllocStats &stats,
+                  const ResourceBudget *budget)
 {
     ps_assert_msg(proc_id < prog.procs.size(),
                   "allocateProcedure: procedure %u out of range",
@@ -321,8 +322,16 @@ allocateProcedure(ir::Program &prog, ir::ProcId proc_id,
     // never adds calls, so the answer is stable across procedures).
     const std::vector<uint8_t> recursive = findRecursiveProcs(prog);
 
+    // Each allocate-or-spill round rescans the whole procedure, so it
+    // is charged one unit per instruction against regallocOps.
+    BudgetMeter meter(budget, "regalloc",
+                      budget != nullptr ? budget->regallocOps : 0);
+
     bool done = false;
     for (int round = 0; round < 40 && !done; ++round) {
+        Status st = meter.checkpoint(proc.instrCount() + 1);
+        if (!st.ok())
+            return st;
         if (allocateProc(proc, num_phys_regs, stats)) {
             ++stats.procsAllocated;
             done = true;

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "ir/procedure.hpp"
+#include "support/budget.hpp"
 #include "support/status.hpp"
 
 namespace pathsched::regalloc {
@@ -40,10 +41,14 @@ struct AllocStats
  * data memory.  A procedure whose pressure cannot be reduced is *not*
  * an error (it stays on virtual registers and counts as skipped, as
  * documented above); a non-OK return means the procedure cannot be
- * allocated at all (more parameters than machine registers).
+ * allocated at all (more parameters than machine registers), or — when
+ * @p budget is non-null — that budget->regallocOps (charged one unit
+ * per instruction per allocation round) or budget->deadline ran out
+ * mid-allocation, leaving the procedure partially spilled.
  */
 Status allocateProcedure(ir::Program &prog, ir::ProcId proc,
-                         uint32_t num_phys_regs, AllocStats &stats);
+                         uint32_t num_phys_regs, AllocStats &stats,
+                         const ResourceBudget *budget = nullptr);
 
 /**
  * Allocate every procedure of @p prog onto @p num_phys_regs registers,

@@ -27,6 +27,13 @@ compactProcedure(ir::Program &prog, ir::ProcId proc_id,
     ir::Procedure &proc = prog.procs[proc_id];
     proc.syncSideTables();
 
+    // Cooperative governance: one unit per instruction touched, polled
+    // at block granularity in both phases.
+    BudgetMeter meter(options.budget, "compact",
+                      options.budget != nullptr
+                          ? options.budget->compactOps
+                          : 0);
+
     // Phase 1: local optimization and renaming on the blocks that
     // exist now.  Renaming appends stub blocks, which must not be
     // re-processed (they are already minimal).
@@ -35,6 +42,10 @@ compactProcedure(ir::Program &prog, ir::ProcId proc_id,
     {
         analysis::Liveness live(proc);
         for (ir::BlockId b = 0; b < original_blocks; ++b) {
+            Status st =
+                meter.checkpoint(proc.blocks[b].instrs.size() + 1);
+            if (!st.ok())
+                return st;
             if (options.localOpt) {
                 const auto t0 = timed ? Clock::now()
                                       : Clock::time_point();
@@ -69,9 +80,13 @@ compactProcedure(ir::Program &prog, ir::ProcId proc_id,
     // and stubs included), then schedule everything.
     auto t = ob.time("presched");
     analysis::Liveness live(proc);
-    for (ir::BlockId b = 0; b < proc.blocks.size(); ++b)
+    for (ir::BlockId b = 0; b < proc.blocks.size(); ++b) {
+        Status st = meter.checkpoint(proc.blocks[b].instrs.size() + 1);
+        if (!st.ok())
+            return st;
         stats.sched += scheduleBlock(proc, b, live, mm,
                                      options.priority);
+    }
 
     // Every block must have come out with a usable schedule; a miss
     // means the procedure cannot be costed and must be quarantined.

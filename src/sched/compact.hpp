@@ -20,6 +20,7 @@
 #include "sched/local_opt.hpp"
 #include "sched/renamer.hpp"
 #include "sched/scheduler.hpp"
+#include "support/budget.hpp"
 #include "support/status.hpp"
 
 namespace pathsched::sched {
@@ -36,6 +37,13 @@ struct CompactOptions
      * the prefix, e.g. "time.P4.compact.").  Null disables timing.
      */
     const obs::Observer *observer = nullptr;
+    /**
+     * Optional resource budget (not owned).  compactProcedure charges
+     * one unit per instruction it touches against budget->compactOps
+     * and polls budget->deadline at block granularity; exhaustion
+     * returns BudgetExceeded / DeadlineExceeded.  Null disables.
+     */
+    const ResourceBudget *budget = nullptr;
 };
 
 /** Aggregated counters from compactProgram. */

@@ -12,6 +12,8 @@ errorKindName(ErrorKind kind)
       case ErrorKind::OutputMismatch: return "OutputMismatch";
       case ErrorKind::StepLimit: return "StepLimit";
       case ErrorKind::Injected: return "Injected";
+      case ErrorKind::DeadlineExceeded: return "DeadlineExceeded";
+      case ErrorKind::BudgetExceeded: return "BudgetExceeded";
     }
     return "<bad>";
 }
@@ -31,6 +33,10 @@ parseErrorKind(const std::string &token, ErrorKind &out)
         out = ErrorKind::StepLimit;
     else if (token == "injected" || token == "Injected")
         out = ErrorKind::Injected;
+    else if (token == "deadline" || token == "DeadlineExceeded")
+        out = ErrorKind::DeadlineExceeded;
+    else if (token == "budget" || token == "BudgetExceeded")
+        out = ErrorKind::BudgetExceeded;
     else
         return false;
     return true;

@@ -35,14 +35,24 @@ enum class ErrorKind : uint8_t
     OutputMismatch, ///< transformed program output diverged from original
     StepLimit,      ///< interpreter exceeded its step ceiling
     Injected,       ///< forced by the fault-injection harness
+    DeadlineExceeded, ///< a wall-clock budget (Deadline) expired
+    BudgetExceeded,   ///< a resource budget (ops, steps, growth) ran out
+};
+
+/** Every ErrorKind, in declaration order (for taxonomy iteration). */
+inline constexpr ErrorKind kAllErrorKinds[] = {
+    ErrorKind::BadProfile,       ErrorKind::VerifyFailed,
+    ErrorKind::ScheduleFailed,   ErrorKind::OutputMismatch,
+    ErrorKind::StepLimit,        ErrorKind::Injected,
+    ErrorKind::DeadlineExceeded, ErrorKind::BudgetExceeded,
 };
 
 /** Stable display name, e.g. "VerifyFailed". */
 const char *errorKindName(ErrorKind kind);
 
 /** Parse a spec-file kind token ("verify", "profile", "schedule",
- *  "output", "steplimit", "injected" or an errorKindName); false on an
- *  unknown token. */
+ *  "output", "steplimit", "injected", "deadline", "budget" or an
+ *  errorKindName); false on an unknown token. */
 bool parseErrorKind(const std::string &token, ErrorKind &out);
 
 /** Success, or one classified error with a human-readable message. */

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Resource-governance tests: Deadline / BudgetMeter units, interpreter
+ * step-budget and deadline truncation, and the pipeline's budget
+ * exhaustion contract — each stage's budget failure degrades exactly
+ * the affected procedure through the quarantine path (never aborts),
+ * while an expired run-wide deadline ends the run with a typed status.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "obs/stats.hpp"
+#include "obs/timer.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/report.hpp"
+#include "support/budget.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pathsched {
+namespace {
+
+using pipeline::PipelineOptions;
+using pipeline::PipelineResult;
+using pipeline::SchedConfig;
+
+// ---------------------------------------------------------------------
+// Deadline.
+
+TEST(Deadline, DefaultNeverExpires)
+{
+    const Deadline d;
+    EXPECT_FALSE(d.active());
+    EXPECT_FALSE(d.expired());
+    EXPECT_EQ(d.remainingMs(), 0.0);
+    EXPECT_FALSE(Deadline::never().active());
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately)
+{
+    const Deadline d = Deadline::afterMs(0);
+    EXPECT_TRUE(d.active());
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.remainingMs(), 0.0);
+}
+
+TEST(Deadline, GenerousBudgetIsPending)
+{
+    const Deadline d = Deadline::afterMs(60'000);
+    EXPECT_TRUE(d.active());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingMs(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// ResourceBudget / BudgetMeter.
+
+TEST(ResourceBudget, DefaultIsUnlimited)
+{
+    ResourceBudget b;
+    EXPECT_TRUE(b.unlimited());
+    b.compactOps = 1;
+    EXPECT_FALSE(b.unlimited());
+    b = ResourceBudget();
+    b.deadline = Deadline::afterMs(60'000);
+    EXPECT_FALSE(b.unlimited());
+}
+
+TEST(BudgetMeter, NullBudgetChargesNothing)
+{
+    BudgetMeter meter(nullptr, "test", 0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(meter.checkpoint(1'000'000).ok());
+    EXPECT_EQ(meter.used(), 0u);
+}
+
+TEST(BudgetMeter, OpCapExhaustionIsTyped)
+{
+    ResourceBudget budget;
+    budget.compactOps = 10;
+    BudgetMeter meter(&budget, "compact", budget.compactOps);
+    EXPECT_TRUE(meter.checkpoint(5).ok());
+    EXPECT_TRUE(meter.checkpoint(5).ok()); // exactly at the cap: fine
+    const Status st = meter.checkpoint(1);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.kind(), ErrorKind::BudgetExceeded);
+    EXPECT_NE(st.message().find("compact"), std::string::npos);
+    EXPECT_EQ(meter.used(), 11u);
+}
+
+TEST(BudgetMeter, ExpiredDeadlineIsTyped)
+{
+    ResourceBudget budget;
+    budget.deadline = Deadline::afterMs(0);
+    BudgetMeter meter(&budget, "form", 0); // no op cap
+    const Status st = meter.checkpoint();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.kind(), ErrorKind::DeadlineExceeded);
+}
+
+TEST(BudgetMeter, DeadlineStatusHelper)
+{
+    EXPECT_TRUE(deadlineStatus(nullptr, "x").ok());
+    ResourceBudget pending;
+    pending.deadline = Deadline::afterMs(60'000);
+    EXPECT_TRUE(deadlineStatus(&pending, "x").ok());
+    ResourceBudget expired;
+    expired.deadline = Deadline::afterMs(0);
+    const Status st = deadlineStatus(&expired, "form");
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.kind(), ErrorKind::DeadlineExceeded);
+    EXPECT_NE(st.message().find("form"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Interpreter truncation.
+
+/** main(n): branchy counting loop, ~6 ops per iteration. */
+ir::Program
+loopProgram()
+{
+    ir::Program prog;
+    ir::IrBuilder b(prog);
+    const ir::ProcId mainp = b.newProc("main", 1);
+    const ir::RegId n = b.param(0);
+
+    const ir::BlockId entry = 0;
+    const ir::BlockId header = b.newBlock();
+    const ir::BlockId body = b.newBlock();
+    const ir::BlockId hot = b.newBlock(); // taken 3 iterations in 4
+    const ir::BlockId latch = b.newBlock();
+    const ir::BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    const ir::RegId i = b.ldi(0);
+    const ir::RegId acc = b.ldi(0);
+    b.jmp(header);
+
+    b.setBlock(header);
+    const ir::RegId c = b.cmpLt(i, n);
+    b.brz(c, done, body);
+
+    b.setBlock(body);
+    const ir::RegId low = b.alui(ir::Opcode::And, i, 3);
+    b.brnz(low, hot, latch);
+
+    b.setBlock(hot);
+    b.aluiTo(ir::Opcode::Add, acc, acc, 1);
+    b.jmp(latch);
+
+    b.setBlock(latch);
+    b.aluiTo(ir::Opcode::Add, acc, acc, 3);
+    b.aluiTo(ir::Opcode::Add, i, i, 1);
+    b.jmp(header);
+
+    b.setBlock(done);
+    b.emitValue(acc);
+    b.ret(acc);
+
+    prog.mainProc = mainp;
+    return prog;
+}
+
+interp::ProgramInput
+inputN(int64_t n)
+{
+    interp::ProgramInput in;
+    in.mainArgs = {n};
+    return in;
+}
+
+TEST(InterpBudget, StepBudgetTruncatesWithAttribution)
+{
+    const ir::Program prog = loopProgram();
+    interp::InterpOptions opts;
+    opts.budgetSteps = 50;
+    interp::Interpreter interp(prog, opts);
+    const interp::RunResult r = interp.run(inputN(1000));
+    EXPECT_TRUE(r.budgetStop);
+    EXPECT_FALSE(r.stepLimit);
+    EXPECT_FALSE(r.deadlineStop);
+    EXPECT_TRUE(r.truncated());
+    EXPECT_EQ(r.stopProc, prog.mainProc);
+}
+
+TEST(InterpBudget, BudgetAtOrAboveMaxStepsDefersToRunawayGuard)
+{
+    const ir::Program prog = loopProgram();
+    interp::InterpOptions opts;
+    opts.maxSteps = 50;
+    opts.budgetSteps = 100;
+    interp::Interpreter interp(prog, opts);
+    const interp::RunResult r = interp.run(inputN(1000));
+    EXPECT_TRUE(r.stepLimit);
+    EXPECT_FALSE(r.budgetStop);
+    EXPECT_EQ(r.stopProc, prog.mainProc);
+}
+
+TEST(InterpBudget, CompleteRunHasNoTruncationOrStopProc)
+{
+    const ir::Program prog = loopProgram();
+    interp::Interpreter interp(prog);
+    const interp::RunResult r = interp.run(inputN(10));
+    EXPECT_FALSE(r.truncated());
+    EXPECT_EQ(r.stopProc, ir::kNoProc);
+}
+
+TEST(InterpBudget, ExpiredDeadlineTruncatesLongRun)
+{
+    // The deadline is polled every kDeadlineCheckStride steps, so the
+    // run must be long enough to cross at least one stride boundary.
+    const ir::Program prog = loopProgram();
+    interp::InterpOptions opts;
+    opts.deadline = Deadline::afterMs(0);
+    interp::Interpreter interp(prog, opts);
+    const interp::RunResult r = interp.run(inputN(100'000));
+    EXPECT_TRUE(r.deadlineStop);
+    EXPECT_TRUE(r.truncated());
+    EXPECT_EQ(r.stopProc, prog.mainProc);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline budget exhaustion: each stage degrades exactly the affected
+// procedure and the run completes.
+
+PipelineResult
+runWc(SchedConfig config, const PipelineOptions &opts)
+{
+    const auto w = workloads::makeByName("wc");
+    return pipeline::runPipeline(w.program, w.train, w.test, config,
+                                 opts);
+}
+
+struct StageBudgetCase
+{
+    const char *stage;
+    ResourceBudget budget;
+};
+
+class StageBudgetMatrix
+    : public ::testing::TestWithParam<StageBudgetCase>
+{};
+
+TEST_P(StageBudgetMatrix, WcP4DegradesExactlyTheExhaustedProcedure)
+{
+    const StageBudgetCase &c = GetParam();
+    obs::StatRegistry registry;
+    obs::Observer observer;
+    observer.stats = &registry;
+    PipelineOptions opts;
+    opts.observer = &observer;
+    opts.budget = c.budget;
+
+    const PipelineResult r = runWc(SchedConfig::P4, opts);
+    EXPECT_TRUE(r.status.ok()) << r.status.toString();
+    EXPECT_TRUE(r.outputMatches);
+    EXPECT_TRUE(r.budgeted);
+    ASSERT_FALSE(r.degraded.empty());
+    for (const auto &d : r.degraded) {
+        EXPECT_EQ(d.stage, c.stage);
+        EXPECT_EQ(d.kind, ErrorKind::BudgetExceeded);
+    }
+    EXPECT_EQ(r.budgetDegradations(), r.degraded.size());
+    EXPECT_EQ(registry.counter("robust.P4.budget.exhausted"),
+              r.degraded.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stages, StageBudgetMatrix,
+    ::testing::Values(
+        StageBudgetCase{"form", [] {
+                            ResourceBudget b;
+                            b.formGrowthOps = 1;
+                            return b;
+                        }()},
+        StageBudgetCase{"compact", [] {
+                            ResourceBudget b;
+                            b.compactOps = 10;
+                            return b;
+                        }()},
+        StageBudgetCase{"regalloc", [] {
+                            ResourceBudget b;
+                            b.regallocOps = 10;
+                            return b;
+                        }()}),
+    [](const ::testing::TestParamInfo<StageBudgetCase> &info) {
+        return std::string(info.param.stage);
+    });
+
+TEST(PipelineBudget, ExpiredDeadlineReturnsTypedStatus)
+{
+    PipelineOptions opts;
+    opts.budget.deadline = Deadline::afterMs(0);
+    const PipelineResult r = runWc(SchedConfig::P4, opts);
+    ASSERT_FALSE(r.status.ok());
+    EXPECT_EQ(r.status.kind(), ErrorKind::DeadlineExceeded);
+}
+
+TEST(PipelineBudget, TinyStepBudgetReturnsTypedStatusNotPanic)
+{
+    // Far below even the training run: the pipeline must report a
+    // typed BudgetExceeded, never abort.
+    PipelineOptions opts;
+    opts.budget.interpSteps = 100;
+    const PipelineResult r = runWc(SchedConfig::P4, opts);
+    ASSERT_FALSE(r.status.ok());
+    EXPECT_EQ(r.status.kind(), ErrorKind::BudgetExceeded);
+}
+
+TEST(PipelineBudget, TestRunBudgetDegradesTheStoppedProcedure)
+{
+    // A budget the original program fits under but the transformed
+    // (speculation + compensation stubs) program exceeds: the pipeline
+    // must attribute the overrun to the procedure it stopped in,
+    // degrade it to BB, and complete within budget.
+    const ir::Program prog = loopProgram();
+    const interp::ProgramInput train = inputN(40);
+    const interp::ProgramInput test = inputN(5000);
+
+    interp::Interpreter ref(prog);
+    const uint64_t orig_steps = ref.run(test).dynInstrs;
+
+    PipelineOptions opts;
+    const PipelineResult plain = pipeline::runPipeline(
+        prog, train, test, SchedConfig::P4, opts);
+    ASSERT_TRUE(plain.status.ok());
+    const uint64_t transformed_steps = plain.test.dynInstrs;
+    if (transformed_steps <= orig_steps)
+        GTEST_SKIP() << "transformed run not longer than the original "
+                        "(nothing to attribute)";
+
+    opts.budget.interpSteps = (orig_steps + transformed_steps) / 2;
+    const PipelineResult r = pipeline::runPipeline(
+        prog, train, test, SchedConfig::P4, opts);
+    EXPECT_TRUE(r.status.ok()) << r.status.toString();
+    EXPECT_TRUE(r.outputMatches);
+    ASSERT_FALSE(r.degraded.empty());
+    EXPECT_EQ(r.degraded[0].stage, "interp");
+    EXPECT_EQ(r.degraded[0].kind, ErrorKind::BudgetExceeded);
+    EXPECT_EQ(r.degraded[0].procName, "main");
+    EXPECT_LE(r.test.dynInstrs, opts.budget.interpSteps);
+}
+
+TEST(PipelineBudget, UnbudgetedRunIsUnchanged)
+{
+    const PipelineResult plain = runWc(SchedConfig::P4, {});
+    ASSERT_TRUE(plain.status.ok());
+    EXPECT_FALSE(plain.budgeted);
+    EXPECT_FALSE(plain.degradedRun());
+
+    // A generous budget must not change any measurement either.
+    PipelineOptions opts;
+    opts.budget.deadline = Deadline::afterMs(600'000);
+    opts.budget.formGrowthOps = 1'000'000'000;
+    opts.budget.compactOps = 1'000'000'000;
+    opts.budget.regallocOps = 1'000'000'000;
+    opts.budget.interpSteps = 1'000'000'000;
+    const PipelineResult governed = runWc(SchedConfig::P4, opts);
+    ASSERT_TRUE(governed.status.ok());
+    EXPECT_TRUE(governed.budgeted);
+    EXPECT_FALSE(governed.degradedRun());
+    EXPECT_EQ(governed.test.cycles, plain.test.cycles);
+    EXPECT_EQ(governed.test.dynInstrs, plain.test.dynInstrs);
+    EXPECT_EQ(governed.codeBytes, plain.codeBytes);
+}
+
+TEST(PipelineBudget, ReportBudgetBlockIsGatedOnGovernance)
+{
+    PipelineResult plain = runWc(SchedConfig::BB, {});
+    std::vector<pipeline::ReportRun> runs;
+    runs.push_back({"wc", std::move(plain)});
+    const std::string without = pipeline::reportJson(runs, nullptr);
+    EXPECT_EQ(without.find("\"budget\""), std::string::npos);
+
+    PipelineOptions opts;
+    opts.budget.formGrowthOps = 1;
+    PipelineResult governed = runWc(SchedConfig::P4, opts);
+    ASSERT_TRUE(governed.status.ok());
+    const size_t exhausted = governed.budgetDegradations();
+    EXPECT_GT(exhausted, 0u);
+    std::vector<pipeline::ReportRun> gruns;
+    gruns.push_back({"wc", std::move(governed)});
+    const std::string with = pipeline::reportJson(gruns, nullptr);
+    EXPECT_NE(with.find("\"budget\""), std::string::npos);
+    EXPECT_NE(with.find("\"exhausted\": " + std::to_string(exhausted)),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace pathsched

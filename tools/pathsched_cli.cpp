@@ -74,10 +74,24 @@ usage()
         "                          (';' separates several faults; see\n"
         "                          docs/robustness.md).  Repeatable.\n"
         "  --inject-seed N         RNG seed for prob= faults (default 0)\n"
+        "  --deadline-ms N         wall-clock budget per pipeline run;\n"
+        "                          expiry ends that run with a typed\n"
+        "                          DeadlineExceeded error (exit 1)\n"
+        "  --growth-budget N       ops formation may add to one\n"
+        "                          procedure; exhaustion degrades that\n"
+        "                          procedure to BB (exit 2)\n"
+        "  --compact-budget N      ops compaction may process per\n"
+        "                          procedure (exhaustion degrades)\n"
+        "  --regalloc-budget N     ops register allocation may process\n"
+        "                          per procedure (exhaustion degrades)\n"
+        "  --step-budget N         interpreter step budget per run;\n"
+        "                          a test run over it degrades the\n"
+        "                          procedure it stopped in\n"
         "  --list                  list workloads and exit\n"
         "\n"
-        "exit codes: 0 success; 1 user error; 2 completed with BB\n"
-        "degradations; 3 internal error\n");
+        "exit codes: 0 success; 1 user error (including an exhausted\n"
+        "deadline or budget that a BB fallback cannot absorb);\n"
+        "2 completed with BB degradations; 3 internal error\n");
 }
 
 bool
@@ -131,6 +145,7 @@ main(int argc, char **argv)
     std::string trace_file;
     std::vector<std::string> inject_specs;
     uint64_t inject_seed = 0;
+    uint64_t deadline_ms = 0;
     bool want_stats = false;
     pipeline::PipelineOptions opts;
 
@@ -184,6 +199,16 @@ main(int argc, char **argv)
             inject_specs.push_back(next());
         } else if (arg == "--inject-seed") {
             inject_seed = std::stoull(next());
+        } else if (arg == "--deadline-ms") {
+            deadline_ms = std::stoull(next());
+        } else if (arg == "--growth-budget") {
+            opts.budget.formGrowthOps = std::stoull(next());
+        } else if (arg == "--compact-budget") {
+            opts.budget.compactOps = std::stoull(next());
+        } else if (arg == "--regalloc-budget") {
+            opts.budget.regallocOps = std::stoull(next());
+        } else if (arg == "--step-budget") {
+            opts.budget.interpSteps = std::stoull(next());
         } else if (arg == "--list") {
             for (const auto &n : workloads::benchmarkNames())
                 std::printf("%s\n", n.c_str());
@@ -257,6 +282,10 @@ main(int argc, char **argv)
         if (!dump_paths.empty())
             dumpPaths(w, dump_paths, opts.pathParams);
         for (const auto c : configs) {
+            // The wall budget is per pipeline run, so the clock starts
+            // fresh here rather than at option parsing.
+            if (deadline_ms != 0)
+                opts.budget.deadline = Deadline::afterMs(deadline_ms);
             auto run_timer = observer.time("run." + name + "." +
                                            pipeline::configName(c));
             auto r = pipeline::runPipeline(w.program, w.train, w.test, c,
