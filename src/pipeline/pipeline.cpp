@@ -189,6 +189,100 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                     train_run.dynInstrs);
     base.addCounter("profile" + cfg_dot + "paths", result.numPaths);
 
+    // --- 1b. Profile admission: externally supplied profiles are
+    //         loaded, checked and (in Repair mode) degraded per
+    //         procedure before they may drive trace selection.  With
+    //         no external text this whole block is inert and the run
+    //         is bit-identical to a build without the admission layer.
+    profile::EdgeProfiler ext_edge(program);
+    profile::PathProfiler ext_path(program, options.pathParams);
+    profile::EdgeProfiler proj_edge(program);
+    const profile::EdgeProfiler *edge_for_form = &edge_profile;
+    const profile::PathProfiler *path_for_form = &path_profile;
+    profile::ProfileAudit &audit = result.profileAudit;
+    {
+        const bool need_edge = config == SchedConfig::M4 ||
+                               config == SchedConfig::M16;
+        const bool need_path = config == SchedConfig::P4 ||
+                               config == SchedConfig::P4e;
+        profile::ValidateOptions vo;
+        vo.mode = options.profileCheck;
+        vo.flowSlack = options.profileFlowSlack;
+        profile::LoadOptions lo;
+        lo.lenient =
+            options.profileCheck == profile::AdmissionMode::Repair;
+        // Whole-file rejection: Repair substitutes the internal
+        // training profile; Strict and Off fail the run (true).
+        auto admitFailed = [&](Status st) -> bool {
+            if (options.profileCheck == profile::AdmissionMode::Repair) {
+                warn("config %s: external profile rejected (%s); "
+                     "falling back to the internal training profile",
+                     result.name.c_str(), st.toString().c_str());
+                audit.enabled = true;
+                audit.fileRejected = true;
+                audit.fileStatus = std::move(st);
+                return false;
+            }
+            result.status = std::move(st);
+            return true;
+        };
+        if (need_edge && !options.edgeProfileText.empty()) {
+            profile::ProfileMeta meta;
+            Status st = profile::loadEdgeProfile(options.edgeProfileText,
+                                                 ext_edge, meta, lo);
+            if (!st.ok()) {
+                if (admitFailed(std::move(st)))
+                    return result;
+            } else {
+                st = profile::auditEdgeProfile(program, ext_edge, meta,
+                                               vo, audit);
+                if (!st.ok()) { // strict mode only
+                    result.status = std::move(st);
+                    return result;
+                }
+                edge_for_form = &ext_edge;
+            }
+        }
+        if (need_path && !options.pathProfileText.empty()) {
+            profile::ProfileMeta meta;
+            Status st = profile::loadPathProfile(options.pathProfileText,
+                                                 ext_path, meta, lo);
+            if (!st.ok()) {
+                if (admitFailed(std::move(st)))
+                    return result;
+            } else {
+                st = profile::auditPathProfile(program, ext_path, meta,
+                                               vo, audit, &proj_edge);
+                if (!st.ok()) { // strict mode only
+                    result.status = std::move(st);
+                    return result;
+                }
+                ext_path.finalize();
+                path_for_form = &ext_path;
+                result.numPaths = ext_path.numPaths();
+            }
+        }
+        if (audit.enabled) {
+            base.addCounter("profile" + cfg_dot + "audit.checked",
+                            audit.checked);
+            base.addCounter("profile" + cfg_dot + "audit.repaired",
+                            audit.repaired);
+            base.addCounter("profile" + cfg_dot + "audit.droppedPaths",
+                            audit.droppedPaths);
+            base.addCounter("profile" + cfg_dot + "audit.staleProcs",
+                            audit.staleProcs);
+            base.addCounter("robust" + cfg_dot + "profile.repaired",
+                            audit.repaired);
+            base.addCounter("robust" + cfg_dot + "profile.quarantined",
+                            audit.quarantined);
+            base.addCounter("robust" + cfg_dot + "profile.stale",
+                            audit.staleProcs);
+            if (audit.fileRejected)
+                base.addCounter(
+                    "robust" + cfg_dot + "profile.fileRejected", 1);
+        }
+    }
+
     // --- 2. Transform a copy of the program, one procedure at a time,
     //        with per-procedure quarantine (see the file comment). ---
     ir::Program prog = program;
@@ -273,15 +367,39 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         form::FormConfig fc = formConfigFor(config, options);
         const obs::Observer form_obs = timed.withPrefix("form.");
         fc.observer = &form_obs;
+        // Degradation cascade for procedures whose path profile lost
+        // windows to admission but still projects consistently: form
+        // them edge-driven (M4-style) from the projection.
+        form::FormConfig fc_proj = fc;
+        fc_proj.mode = form::ProfileMode::Edge;
+        fc_proj.unrollFactor = 4;
         for (ir::ProcId p = 0; p < num_procs; ++p) {
             if (deadlineUp("form"))
                 return result;
+            const profile::ProcAudit *pa =
+                audit.enabled ? audit.findProc(p) : nullptr;
+            if (pa && pa->action == profile::ProcAction::Quarantined) {
+                // No believable profile data for this procedure:
+                // schedule it from the BB baseline.
+                noteFailure(p, "profile",
+                            Status::error(pa->kind, pa->message));
+                rebuildAsBB(p, StageReached::Form);
+                continue;
+            }
+            const bool use_proj =
+                pa && pa->action == profile::ProcAction::ProjectedEdges;
             const char *stage = "form";
             fc.budget = budgetFor(p);
+            fc_proj.budget = fc.budget;
             Status st = inject(stage, p);
             if (st.ok())
-                st = form::formProcedure(prog, p, &edge_profile,
-                                         &path_profile, fc, result.form);
+                st = use_proj
+                         ? form::formProcedure(prog, p, &proj_edge,
+                                               nullptr, fc_proj,
+                                               result.form)
+                         : form::formProcedure(prog, p, edge_for_form,
+                                               path_for_form, fc,
+                                               result.form);
             if (st.ok()) {
                 stage = "materialize";
                 st = inject(stage, p);
@@ -633,6 +751,10 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                               "budget.deadlineRemainingMs",
                           double(bud.deadline.remainingMs()));
     }
+
+    if (options.keepTransformed)
+        result.transformed =
+            std::make_shared<ir::Program>(std::move(prog));
 
     return result;
 }

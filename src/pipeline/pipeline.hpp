@@ -22,8 +22,8 @@
 #ifndef PATHSCHED_PIPELINE_PIPELINE_HPP
 #define PATHSCHED_PIPELINE_PIPELINE_HPP
 
+#include <memory>
 #include <string>
-
 #include <vector>
 
 #include "form/form.hpp"
@@ -34,6 +34,7 @@
 #include "machine/machine.hpp"
 #include "obs/timer.hpp"
 #include "profile/path_profile.hpp"
+#include "profile/validate.hpp"
 #include "regalloc/linear_scan.hpp"
 #include "sched/compact.hpp"
 #include "support/budget.hpp"
@@ -114,6 +115,31 @@ struct PipelineOptions
     bool interpStats = false;
     /** @} */
 
+    /** @name Profile admission (docs/robustness.md)
+     *
+     * When the matching text is non-empty, the training profile of
+     * that kind is replaced by the externally supplied one — after it
+     * passes admission control (profile/validate.hpp) at the level
+     * `profileCheck` selects.  In Repair mode a rejected file falls
+     * back to the internal training profile and rejected procedures
+     * degrade individually (path -> projected edge profile ->
+     * quarantine to BB), recorded in PipelineResult::profileAudit; in
+     * Strict mode any finding fails the run with a typed status; Off
+     * trusts the file after a plain parse.  With both texts empty the
+     * pipeline is bit-identical to a build without this layer.
+     * @{
+     */
+    std::string edgeProfileText; ///< external edge profile (M4/M16)
+    std::string pathProfileText; ///< external path profile (P4/P4e)
+    profile::AdmissionMode profileCheck = profile::AdmissionMode::Repair;
+    /** Flow-check slack, see profile::ValidateOptions::flowSlack. */
+    uint64_t profileFlowSlack = 1;
+    /** @} */
+
+    /** Keep the transformed program in PipelineResult::transformed
+     *  (for tests and tools that inspect the scheduled IR). */
+    bool keepTransformed = false;
+
     /**
      * Optional fault injector (not owned; see support/faultinject.hpp).
      * runPipeline consults it at every per-procedure stage boundary
@@ -132,9 +158,11 @@ struct Degradation
 {
     ir::ProcId proc = 0;
     std::string procName;
-    /** Stage boundary that failed: "form", "materialize", "compact",
-     *  "regalloc", "verify", "output-compare", or "interp" (the
-     *  measured test run blew its step budget inside this procedure). */
+    /** Stage boundary that failed: "profile" (admission quarantined
+     *  the procedure before formation), "form", "materialize",
+     *  "compact", "regalloc", "verify", "output-compare", or "interp"
+     *  (the measured test run blew its step budget inside this
+     *  procedure). */
     std::string stage;
     ErrorKind kind = ErrorKind::Injected;
     std::string message;
@@ -170,6 +198,12 @@ struct PipelineResult
     bool degradedRun() const { return !degraded.empty(); }
     /** The run was governed by a non-empty ResourceBudget. */
     bool budgeted = false;
+    /** Admission verdict on externally supplied profiles (enabled is
+     *  false when no external profile was checked). */
+    profile::ProfileAudit profileAudit;
+    /** The transformed program, when keepTransformed was set and the
+     *  run completed. */
+    std::shared_ptr<const ir::Program> transformed;
     /** Degradations caused by budget or deadline exhaustion. */
     size_t budgetDegradations() const;
 

@@ -31,6 +31,39 @@ resultToJson(obs::JsonWriter &w, const std::string &workload,
         w.member("exhausted", uint64_t(r.budgetDegradations()));
         w.endObject();
     }
+    if (r.profileAudit.enabled) {
+        // Profile admission (additive to the v1 schema): emitted only
+        // when an external profile was checked, so ordinary runs stay
+        // byte-identical to pre-admission builds.
+        const profile::ProfileAudit &a = r.profileAudit;
+        w.key("profileAudit");
+        w.beginObject();
+        w.member("clean", a.clean());
+        w.member("fileRejected", a.fileRejected);
+        if (a.fileRejected)
+            w.member("fileStatus", a.fileStatus.toString());
+        w.member("checked", a.checked);
+        w.member("repaired", a.repaired);
+        w.member("quarantined", a.quarantined);
+        w.member("staleProcs", a.staleProcs);
+        w.member("droppedPaths", a.droppedPaths);
+        if (!a.procs.empty()) {
+            w.key("procs");
+            w.beginArray();
+            for (const auto &pa : a.procs) {
+                w.beginObject();
+                w.member("proc", uint64_t(pa.proc));
+                w.member("procName", pa.procName);
+                w.member("action", profile::procActionName(pa.action));
+                w.member("kind", errorKindName(pa.kind));
+                w.member("droppedPaths", pa.droppedPaths);
+                w.member("message", pa.message);
+                w.endObject();
+            }
+            w.endArray();
+        }
+        w.endObject();
+    }
     if (!r.degraded.empty()) {
         w.key("degradations");
         w.beginArray();

@@ -61,6 +61,10 @@ class PathProfiler : public interp::TraceListener
     /** Compute subtree sums.  Must be called once, after the train run. */
     void finalize();
 
+    /** True once finalize() has run.  Loaders must check this before
+     *  addPathCount(), which asserts on a finalized profiler. */
+    bool finalized() const { return finalized_; }
+
     /**
      * Frequency with which the block sequence @p seq (oldest block
      * first) was executed contiguously in @p proc.  Exact when @p seq

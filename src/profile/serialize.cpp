@@ -1,9 +1,11 @@
 #include "profile/serialize.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <sstream>
 #include <vector>
 
+#include "ir/procedure.hpp"
 #include "support/strutil.hpp"
 
 namespace pathsched::profile {
@@ -11,19 +13,60 @@ namespace pathsched::profile {
 using ir::BlockId;
 using ir::ProcId;
 
-std::string
-toText(const EdgeProfiler &ep)
+uint64_t
+fnv1a64(const void *data, size_t size, uint64_t seed)
 {
-    std::ostringstream out;
-    out << "edgeprofile v1\n";
-    ep.forEachBlock([&](ProcId p, BlockId b, uint64_t n) {
-        out << "block " << p << ' ' << b << ' ' << n << '\n';
-    });
-    ep.forEachEdge([&](ProcId p, BlockId from, BlockId to, uint64_t n) {
-        out << "edge " << p << ' ' << from << ' ' << to << ' ' << n
-            << '\n';
-    });
-    return out.str();
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+namespace {
+
+/** Fold @p v into a running FNV-1a state byte by byte. */
+uint64_t
+fnvMix(uint64_t h, uint64_t v)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = (unsigned char)(v >> (8 * i));
+    return fnv1a64(bytes, sizeof bytes, h);
+}
+
+} // namespace
+
+uint64_t
+cfgFingerprint(const ir::Procedure &proc)
+{
+    uint64_t h = fnv1a64(nullptr, 0);
+    h = fnvMix(h, proc.blocks.size());
+    std::vector<BlockId> succs;
+    for (const ir::BasicBlock &bb : proc.blocks) {
+        succs.clear();
+        ir::successorsOf(bb, succs);
+        h = fnvMix(h, succs.size());
+        for (BlockId s : succs)
+            h = fnvMix(h, s);
+        const bool conditional = !bb.empty() && bb.terminator().isBranch();
+        h = fnvMix(h, conditional ? 1 : 0);
+    }
+    return h;
+}
+
+bool
+ProfileMeta::fingerprintFor(uint32_t proc, uint64_t &out) const
+{
+    for (const auto &[p, fp] : fingerprints) {
+        if (p == proc) {
+            out = fp;
+            return true;
+        }
+    }
+    return false;
 }
 
 namespace {
@@ -56,6 +99,24 @@ parseU32(const std::string &tok, uint32_t &out)
     return true;
 }
 
+/** Strict whole-token lowercase/uppercase hex parse (≤16 digits). */
+bool
+parseHex64(const std::string &tok, uint64_t &out)
+{
+    if (tok.empty() || tok.size() > 16)
+        return false;
+    const char *first = tok.data();
+    const char *last = first + tok.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out, 16);
+    return ec == std::errc() && ptr == last;
+}
+
+std::string
+hex16(uint64_t v)
+{
+    return strfmt("%016llx", (unsigned long long)v);
+}
+
 /** Split @p line on runs of spaces/tabs. */
 std::vector<std::string>
 splitWs(const std::string &line)
@@ -76,61 +137,115 @@ splitWs(const std::string &line)
     return toks;
 }
 
+/** The v2 checksum covers every byte after the header line's newline. */
+uint64_t
+bodyChecksum(const std::string &text)
+{
+    const size_t nl = text.find('\n');
+    if (nl == std::string::npos)
+        return fnv1a64(nullptr, 0);
+    return fnv1a64(text.data() + nl + 1, text.size() - nl - 1);
+}
+
+std::string
+fingerprintLines(const ir::Program &prog)
+{
+    std::ostringstream out;
+    for (const ir::Procedure &proc : prog.procs)
+        out << "fingerprint " << proc.id << ' '
+            << hex16(cfgFingerprint(proc)) << '\n';
+    return out.str();
+}
+
+/**
+ * Shared per-record skip bookkeeping for the lenient loaders.  A record
+ * is attributed to a procedure whenever its proc token still parses;
+ * otherwise the skip is counted but unattributed.
+ */
+void
+noteSkip(ProfileMeta &meta, const std::vector<std::string> &tok)
+{
+    ++meta.recordsSkipped;
+    uint32_t p;
+    if (tok.size() >= 2 && parseU32(tok[1], p)) {
+        if (std::find(meta.skippedProcs.begin(), meta.skippedProcs.end(),
+                      p) == meta.skippedProcs.end())
+            meta.skippedProcs.push_back(p);
+    } else {
+        ++meta.unattributedSkips;
+    }
+}
+
+/**
+ * Parse one v1/v2 header line already split into @p tok.  On success
+ * fills @p meta (version, checksum declaration) and, for a v2 header,
+ * stores the declared checksum in @p declaredCrc.  @p paramTokens
+ * receives the fixed parameter tokens between the version and any
+ * `crc` field (empty for edge profiles, three tokens for path
+ * profiles); the caller validates them.
+ */
+bool
+parseHeader(const std::vector<std::string> &tok, const char *magic,
+            size_t nparams, ProfileMeta &meta, uint64_t &declaredCrc,
+            std::vector<std::string> &paramTokens)
+{
+    if (tok.size() < 2 || tok[0] != magic)
+        return false;
+    int version;
+    if (tok[1] == "v1")
+        version = 1;
+    else if (tok[1] == "v2")
+        version = 2;
+    else
+        return false;
+    if (tok.size() < 2 + nparams)
+        return false;
+    paramTokens.assign(tok.begin() + 2, tok.begin() + 2 + nparams);
+    size_t i = 2 + nparams;
+    meta.version = version;
+    if (version == 1)
+        return i == tok.size();
+    // v2 requires the crc field; nothing may follow it.
+    if (i + 2 != tok.size() || tok[i] != "crc" ||
+        !parseHex64(tok[i + 1], declaredCrc))
+        return false;
+    meta.hasChecksum = true;
+    return true;
+}
+
+Status
+badProfile(std::string msg)
+{
+    return Status::error(ErrorKind::BadProfile, std::move(msg));
+}
+
 } // namespace
 
-bool
-fromText(const std::string &text, EdgeProfiler &ep, std::string &error)
+std::string
+toText(const EdgeProfiler &ep)
 {
-    std::istringstream in(text);
-    std::string line;
-    if (!std::getline(in, line) || line != "edgeprofile v1") {
-        error = "bad header: '" + line + "'";
-        return false;
-    }
-    size_t lineno = 1;
-    while (std::getline(in, line)) {
-        ++lineno;
-        const std::vector<std::string> tok = splitWs(line);
-        if (tok.empty())
-            continue;
-        if (tok[0] == "block") {
-            uint32_t p, b;
-            uint64_t n;
-            if (tok.size() != 4 || !parseU32(tok[1], p) ||
-                !parseU32(tok[2], b) || !parseU64(tok[3], n)) {
-                error = strfmt("line %zu: malformed block record",
-                               lineno);
-                return false;
-            }
-            if (!ep.addBlockCount(p, b, n)) {
-                error = strfmt("line %zu: block record names "
-                               "out-of-range proc %u or block %u",
-                               lineno, p, b);
-                return false;
-            }
-        } else if (tok[0] == "edge") {
-            uint32_t p, from, to;
-            uint64_t n;
-            if (tok.size() != 5 || !parseU32(tok[1], p) ||
-                !parseU32(tok[2], from) || !parseU32(tok[3], to) ||
-                !parseU64(tok[4], n)) {
-                error = strfmt("line %zu: malformed edge record",
-                               lineno);
-                return false;
-            }
-            if (!ep.addEdgeCount(p, from, to, n)) {
-                error = strfmt("line %zu: edge record names "
-                               "out-of-range proc %u or blocks %u->%u",
-                               lineno, p, from, to);
-                return false;
-            }
-        } else {
-            error = strfmt("line %zu: unknown record kind '%s'", lineno,
-                           tok[0].c_str());
-            return false;
-        }
-    }
-    return true;
+    std::ostringstream out;
+    out << "edgeprofile v1\n";
+    ep.forEachBlock([&](ProcId p, BlockId b, uint64_t n) {
+        out << "block " << p << ' ' << b << ' ' << n << '\n';
+    });
+    ep.forEachEdge([&](ProcId p, BlockId from, BlockId to, uint64_t n) {
+        out << "edge " << p << ' ' << from << ' ' << to << ' ' << n
+            << '\n';
+    });
+    return out.str();
+}
+
+std::string
+toTextV2(const EdgeProfiler &ep, const ir::Program &prog)
+{
+    // Body first: the header embeds the body's checksum.
+    const std::string v1 = toText(ep);
+    const size_t nl = v1.find('\n');
+    std::string body = fingerprintLines(prog);
+    body += v1.substr(nl + 1);
+    return "edgeprofile v2 crc " + hex16(fnv1a64(body.data(), body.size())) +
+           "\n" + body;
 }
 
 std::string
@@ -150,30 +265,165 @@ toText(const PathProfiler &pp)
     return out.str();
 }
 
-bool
-fromText(const std::string &text, PathProfiler &pp, std::string &error)
+std::string
+toTextV2(const PathProfiler &pp, const ir::Program &prog)
 {
+    const std::string v1 = toText(pp);
+    const size_t nl = v1.find('\n');
+    std::string body = fingerprintLines(prog);
+    body += v1.substr(nl + 1);
+    return strfmt("pathprofile v2 %u %u %d crc ", pp.params().maxBranches,
+                  pp.params().maxBlocks,
+                  pp.params().forwardPathsOnly ? 1 : 0) +
+           hex16(fnv1a64(body.data(), body.size())) + "\n" + body;
+}
+
+Status
+loadEdgeProfile(const std::string &text, EdgeProfiler &ep,
+                ProfileMeta &meta, const LoadOptions &opts)
+{
+    meta = ProfileMeta();
     std::istringstream in(text);
     std::string line;
-    if (!std::getline(in, line)) {
-        error = "bad path profile header";
-        return false;
+    uint64_t declared_crc = 0;
+    std::vector<std::string> params;
+    if (!std::getline(in, line) ||
+        !parseHeader(splitWs(line), "edgeprofile", 0, meta, declared_crc,
+                     params))
+        return badProfile("bad header: '" + line + "'");
+    if (meta.hasChecksum) {
+        meta.checksumOk = bodyChecksum(text) == declared_crc;
+        if (!meta.checksumOk)
+            return Status::error(
+                ErrorKind::ProfileCorrupt,
+                strfmt("edge profile checksum mismatch: header declares "
+                       "%s, body hashes to %s",
+                       hex16(declared_crc).c_str(),
+                       hex16(bodyChecksum(text)).c_str()));
     }
-    {
+
+    size_t lineno = 1;
+    while (std::getline(in, line)) {
+        ++lineno;
         const std::vector<std::string> tok = splitWs(line);
-        uint32_t max_branches, max_blocks, forward;
-        if (tok.size() != 5 || tok[0] != "pathprofile" ||
-            tok[1] != "v1" || !parseU32(tok[2], max_branches) ||
-            !parseU32(tok[3], max_blocks) || !parseU32(tok[4], forward)) {
-            error = "bad path profile header";
-            return false;
+        if (tok.empty())
+            continue;
+        if (tok[0] == "block") {
+            uint32_t p, b;
+            uint64_t n;
+            if (tok.size() != 4 || !parseU32(tok[1], p) ||
+                !parseU32(tok[2], b) || !parseU64(tok[3], n)) {
+                if (opts.lenient) {
+                    noteSkip(meta, tok);
+                    continue;
+                }
+                return badProfile(
+                    strfmt("line %zu: malformed block record", lineno));
+            }
+            if (!ep.addBlockCount(p, b, n)) {
+                if (opts.lenient) {
+                    noteSkip(meta, tok);
+                    continue;
+                }
+                return badProfile(
+                    strfmt("line %zu: block record names out-of-range "
+                           "proc %u or block %u",
+                           lineno, p, b));
+            }
+        } else if (tok[0] == "edge") {
+            uint32_t p, from, to;
+            uint64_t n;
+            if (tok.size() != 5 || !parseU32(tok[1], p) ||
+                !parseU32(tok[2], from) || !parseU32(tok[3], to) ||
+                !parseU64(tok[4], n)) {
+                if (opts.lenient) {
+                    noteSkip(meta, tok);
+                    continue;
+                }
+                return badProfile(
+                    strfmt("line %zu: malformed edge record", lineno));
+            }
+            if (!ep.addEdgeCount(p, from, to, n)) {
+                if (opts.lenient) {
+                    noteSkip(meta, tok);
+                    continue;
+                }
+                return badProfile(
+                    strfmt("line %zu: edge record names out-of-range "
+                           "proc %u or blocks %u->%u",
+                           lineno, p, from, to));
+            }
+        } else if (tok[0] == "fingerprint" && meta.version >= 2) {
+            uint32_t p;
+            uint64_t fp;
+            if (tok.size() != 3 || !parseU32(tok[1], p) ||
+                !parseHex64(tok[2], fp)) {
+                if (opts.lenient) {
+                    noteSkip(meta, tok);
+                    continue;
+                }
+                return badProfile(strfmt(
+                    "line %zu: malformed fingerprint record", lineno));
+            }
+            meta.fingerprints.emplace_back(p, fp);
+        } else {
+            if (opts.lenient) {
+                noteSkip(meta, tok);
+                continue;
+            }
+            return badProfile(strfmt("line %zu: unknown record kind '%s'",
+                                     lineno, tok[0].c_str()));
         }
+    }
+    return Status();
+}
+
+Status
+loadPathProfile(const std::string &text, PathProfiler &pp,
+                ProfileMeta &meta, const LoadOptions &opts)
+{
+    meta = ProfileMeta();
+    // A finalized profiler cannot absorb raw counts (addPathCount would
+    // assert); file input must surface this as a typed error instead.
+    if (pp.finalized())
+        return badProfile(
+            "cannot load a path profile into a finalized profiler");
+
+    std::istringstream in(text);
+    std::string line;
+    uint64_t declared_crc = 0;
+    std::vector<std::string> params;
+    if (!std::getline(in, line) ||
+        !parseHeader(splitWs(line), "pathprofile", 3, meta, declared_crc,
+                     params))
+        return badProfile("bad path profile header");
+    {
+        uint32_t max_branches, max_blocks, forward;
+        if (!parseU32(params[0], max_branches) ||
+            !parseU32(params[1], max_blocks) ||
+            !parseU32(params[2], forward) || forward > 1)
+            return badProfile("bad path profile header");
         if (max_branches != pp.params().maxBranches ||
             max_blocks != pp.params().maxBlocks ||
-            (forward != 0) != pp.params().forwardPathsOnly) {
-            error = "path profile parameters do not match the profiler";
-            return false;
-        }
+            (forward != 0) != pp.params().forwardPathsOnly)
+            return Status::error(
+                ErrorKind::ProfileStale,
+                strfmt("path profile parameters (%u branches, %u blocks, "
+                       "forward=%u) do not match the profiler "
+                       "(%u branches, %u blocks, forward=%d)",
+                       max_branches, max_blocks, forward,
+                       pp.params().maxBranches, pp.params().maxBlocks,
+                       pp.params().forwardPathsOnly ? 1 : 0));
+    }
+    if (meta.hasChecksum) {
+        meta.checksumOk = bodyChecksum(text) == declared_crc;
+        if (!meta.checksumOk)
+            return Status::error(
+                ErrorKind::ProfileCorrupt,
+                strfmt("path profile checksum mismatch: header declares "
+                       "%s, body hashes to %s",
+                       hex16(declared_crc).c_str(),
+                       hex16(bodyChecksum(text)).c_str()));
     }
 
     std::vector<BlockId> seq;
@@ -183,52 +433,114 @@ fromText(const std::string &text, PathProfiler &pp, std::string &error)
         const std::vector<std::string> tok = splitWs(line);
         if (tok.empty())
             continue;
+        if (tok[0] == "fingerprint" && meta.version >= 2) {
+            uint32_t p;
+            uint64_t fp;
+            if (tok.size() != 3 || !parseU32(tok[1], p) ||
+                !parseHex64(tok[2], fp)) {
+                if (opts.lenient) {
+                    noteSkip(meta, tok);
+                    continue;
+                }
+                return badProfile(strfmt(
+                    "line %zu: malformed fingerprint record", lineno));
+            }
+            meta.fingerprints.emplace_back(p, fp);
+            continue;
+        }
         if (tok[0] != "path") {
-            error = strfmt("line %zu: unknown record kind '%s'", lineno,
-                           tok[0].c_str());
-            return false;
+            if (opts.lenient) {
+                noteSkip(meta, tok);
+                continue;
+            }
+            return badProfile(strfmt("line %zu: unknown record kind '%s'",
+                                     lineno, tok[0].c_str()));
         }
         uint32_t p;
         uint64_t n, len;
         if (tok.size() < 4 || !parseU32(tok[1], p) ||
             !parseU64(tok[2], n) || !parseU64(tok[3], len) || len == 0) {
-            error = strfmt("line %zu: malformed path record", lineno);
-            return false;
+            if (opts.lenient) {
+                noteSkip(meta, tok);
+                continue;
+            }
+            return badProfile(
+                strfmt("line %zu: malformed path record", lineno));
         }
         // A window longer than the declared block budget could never
         // have been recorded; rejecting here also bounds the
         // allocation below against absurd lengths in corrupt input.
         if (len > pp.params().maxBlocks) {
-            error = strfmt("line %zu: path length %llu exceeds the "
-                           "declared block budget %u",
-                           lineno, (unsigned long long)len,
-                           pp.params().maxBlocks);
-            return false;
+            if (opts.lenient) {
+                noteSkip(meta, tok);
+                continue;
+            }
+            return badProfile(
+                strfmt("line %zu: path length %llu exceeds the declared "
+                       "block budget %u",
+                       lineno, (unsigned long long)len,
+                       pp.params().maxBlocks));
         }
         if (tok.size() != 4 + size_t(len)) {
-            error = strfmt("line %zu: truncated path record "
-                           "(%zu of %llu block ids)",
-                           lineno, tok.size() - 4,
-                           (unsigned long long)len);
-            return false;
+            if (opts.lenient) {
+                noteSkip(meta, tok);
+                continue;
+            }
+            return badProfile(
+                strfmt("line %zu: truncated path record (%zu of %llu "
+                       "block ids)",
+                       lineno, tok.size() - 4, (unsigned long long)len));
         }
         seq.assign(size_t(len), 0);
+        bool blocks_ok = true;
         for (size_t k = 0; k < size_t(len); ++k) {
             if (!parseU32(tok[4 + k], seq[k])) {
-                error = strfmt("line %zu: malformed path record",
-                               lineno);
-                return false;
+                blocks_ok = false;
+                break;
             }
         }
+        if (!blocks_ok) {
+            if (opts.lenient) {
+                noteSkip(meta, tok);
+                continue;
+            }
+            return badProfile(
+                strfmt("line %zu: malformed path record", lineno));
+        }
         if (!pp.addPathCount(p, seq, n)) {
-            error = strfmt("line %zu: path record exceeds the "
-                           "profiling budget or names out-of-range "
-                           "proc/blocks",
-                           lineno);
-            return false;
+            if (opts.lenient) {
+                noteSkip(meta, tok);
+                continue;
+            }
+            return badProfile(
+                strfmt("line %zu: path record exceeds the profiling "
+                       "budget or names out-of-range proc/blocks",
+                       lineno));
         }
     }
-    return true;
+    return Status();
+}
+
+bool
+fromText(const std::string &text, EdgeProfiler &ep, std::string &error)
+{
+    ProfileMeta meta;
+    const Status st = loadEdgeProfile(text, ep, meta);
+    if (st.ok())
+        return true;
+    error = st.message();
+    return false;
+}
+
+bool
+fromText(const std::string &text, PathProfiler &pp, std::string &error)
+{
+    ProfileMeta meta;
+    const Status st = loadPathProfile(text, pp, meta);
+    if (st.ok())
+        return true;
+    error = st.message();
+    return false;
 }
 
 } // namespace pathsched::profile

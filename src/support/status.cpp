@@ -14,6 +14,8 @@ errorKindName(ErrorKind kind)
       case ErrorKind::Injected: return "Injected";
       case ErrorKind::DeadlineExceeded: return "DeadlineExceeded";
       case ErrorKind::BudgetExceeded: return "BudgetExceeded";
+      case ErrorKind::ProfileCorrupt: return "ProfileCorrupt";
+      case ErrorKind::ProfileStale: return "ProfileStale";
     }
     return "<bad>";
 }
@@ -37,6 +39,10 @@ parseErrorKind(const std::string &token, ErrorKind &out)
         out = ErrorKind::DeadlineExceeded;
     else if (token == "budget" || token == "BudgetExceeded")
         out = ErrorKind::BudgetExceeded;
+    else if (token == "corrupt" || token == "ProfileCorrupt")
+        out = ErrorKind::ProfileCorrupt;
+    else if (token == "stale" || token == "ProfileStale")
+        out = ErrorKind::ProfileStale;
     else
         return false;
     return true;

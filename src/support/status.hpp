@@ -37,6 +37,8 @@ enum class ErrorKind : uint8_t
     Injected,       ///< forced by the fault-injection harness
     DeadlineExceeded, ///< a wall-clock budget (Deadline) expired
     BudgetExceeded,   ///< a resource budget (ops, steps, growth) ran out
+    ProfileCorrupt, ///< a profile failed integrity/consistency checks
+    ProfileStale,   ///< a profile was collected against a different CFG
 };
 
 /** Every ErrorKind, in declaration order (for taxonomy iteration). */
@@ -45,14 +47,15 @@ inline constexpr ErrorKind kAllErrorKinds[] = {
     ErrorKind::ScheduleFailed,   ErrorKind::OutputMismatch,
     ErrorKind::StepLimit,        ErrorKind::Injected,
     ErrorKind::DeadlineExceeded, ErrorKind::BudgetExceeded,
+    ErrorKind::ProfileCorrupt,   ErrorKind::ProfileStale,
 };
 
 /** Stable display name, e.g. "VerifyFailed". */
 const char *errorKindName(ErrorKind kind);
 
 /** Parse a spec-file kind token ("verify", "profile", "schedule",
- *  "output", "steplimit", "injected", "deadline", "budget" or an
- *  errorKindName); false on an unknown token. */
+ *  "output", "steplimit", "injected", "deadline", "budget", "corrupt",
+ *  "stale" or an errorKindName); false on an unknown token. */
 bool parseErrorKind(const std::string &token, ErrorKind &out);
 
 /** Success, or one classified error with a human-readable message. */

@@ -171,11 +171,73 @@ def test_kill_runner_and_resume(tmp):
           "final summary covers all tasks exactly once")
 
 
+def test_corrupt_journal_line_resume(tmp):
+    print("corrupt (torn) journal line: --resume skips it and re-runs")
+    journal = os.path.join(tmp, "crc.jsonl")
+    args = ["--workloads", "wc,alt", "--configs", "BB,M4",
+            "--jobs", "1", "--journal", journal]
+    r = run_batch(args)
+    check(r.returncode == 0, f"initial suite exit 0 (got {r.returncode})")
+
+    # Every journal line carries a CRC header.
+    with open(journal) as f:
+        lines = [l for l in f.read().splitlines() if l]
+    check(all(l.startswith('{"crc":"') for l in lines),
+          "every journal line is checksummed")
+
+    # Tear the *last* done line mid-record, as a crash during write
+    # would, and flip a digit inside an intact earlier done line.
+    done_idx = [i for i, l in enumerate(lines)
+                if '"event":"done"' in l]
+    check(len(done_idx) >= 2, "at least two done lines to corrupt")
+    torn = done_idx[-1]
+    lines[torn] = lines[torn][: len(lines[torn]) // 2]
+    with open(journal, "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+    r = run_batch(args + ["--resume"])
+    check(r.returncode == 0, f"resume exit 0 (got {r.returncode})")
+    check("corrupt line" in r.stderr,
+          "resume warns about the corrupt line")
+
+    # The torn line is not valid JSON, so read leniently.
+    ev = read_journal_lenient(journal)
+    headers = [e for e in ev if e.get("event") == "suite-start"]
+    check(headers[-1].get("journalCorrupt", 0) == 1,
+          f"suite-start counts 1 corrupt line "
+          f"(got {headers[-1].get('journalCorrupt')})")
+    # 4 tasks ran, 3 clean done lines survived: resume skips 3 and
+    # re-runs exactly the task whose done record was torn.
+    check(headers[-1]["skipped"] == 3,
+          f"resume skipped the 3 intact tasks "
+          f"(got {headers[-1]['skipped']})")
+    resume_idx = ev.index(headers[-1])
+    rerun = {e["task"] for e in ev[resume_idx:]
+             if e.get("event") == "start"}
+    check(len(rerun) == 1, f"exactly one task re-ran (got {rerun})")
+
+
+def read_journal_lenient(path):
+    events = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                pass
+    return events
+
+
 def main():
     with tempfile.TemporaryDirectory() as tmp:
         test_timeout_and_retries(tmp)
         test_degraded_exit(tmp)
         test_kill_runner_and_resume(tmp)
+    with tempfile.TemporaryDirectory() as tmp:
+        test_corrupt_journal_line_resume(tmp)
     if failures:
         print(f"\n{len(failures)} check(s) FAILED")
         return 1

@@ -61,8 +61,8 @@ TEST(Status, EveryKindNameParsesBack)
                 EXPECT_STRNE(errorKindName(k), errorKindName(other));
         }
     }
-    EXPECT_EQ(n, 8u) << "new ErrorKind added without updating "
-                        "kAllErrorKinds or this test";
+    EXPECT_EQ(n, 10u) << "new ErrorKind added without updating "
+                         "kAllErrorKinds or this test";
 
     ErrorKind parsed;
     EXPECT_TRUE(parseErrorKind("verify", parsed));

@@ -90,6 +90,74 @@ splitList(const std::string &s)
     return out;
 }
 
+/** CRC-32 (reflected, poly 0xEDB88320) for per-line journal checks. */
+uint32_t
+crc32(const void *data, size_t size)
+{
+    static uint32_t table[256];
+    static bool init = false;
+    if (!init) {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        init = true;
+    }
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t c = 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+/**
+ * Prefix a journal object with a CRC over the rest of the line:
+ * {"event":...}  ->  {"crc":"xxxxxxxx","event":...}
+ * The CRC covers every byte after the crc field's comma, so a torn
+ * write (truncated tail, interleaved garbage) fails verification.
+ */
+std::string
+withCrc(const std::string &json)
+{
+    const std::string rest = json.substr(1); // drop the opening '{'
+    return strfmt("{\"crc\":\"%08x\",", crc32(rest.data(), rest.size())) +
+           rest;
+}
+
+/**
+ * Check one journal line's CRC.  Lines without a leading crc field
+ * (written by older builds) pass unverified — the format is additive.
+ */
+bool
+crcLineOk(const std::string &line)
+{
+    const char prefix[] = "{\"crc\":\"";
+    const size_t plen = sizeof prefix - 1; // 8
+    if (line.compare(0, plen, prefix) != 0)
+        return true; // legacy line: nothing to verify
+    // {"crc":"xxxxxxxx",REST  — 8 hex digits, then '",'.
+    if (line.size() < plen + 10)
+        return false;
+    uint32_t declared = 0;
+    for (size_t i = plen; i < plen + 8; ++i) {
+        const char c = line[i];
+        uint32_t d;
+        if (c >= '0' && c <= '9')
+            d = uint32_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            d = uint32_t(c - 'a' + 10);
+        else
+            return false;
+        declared = (declared << 4) | d;
+    }
+    if (line.compare(plen + 8, 2, "\",") != 0)
+        return false;
+    const size_t rest = plen + 10;
+    return crc32(line.data() + rest, line.size() - rest) == declared;
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -180,7 +248,10 @@ class Journal
     void
     line(const std::string &json)
     {
-        std::fputs(json.c_str(), fp_);
+        // Each line carries its own CRC so a torn write (power loss,
+        // SIGKILL mid-write) is detectable on resume.
+        const std::string checked = withCrc(json);
+        std::fputs(checked.c_str(), fp_);
         std::fputc('\n', fp_);
         std::fflush(fp_);
         // Survive SIGKILL of this runner: the line must be on disk
@@ -201,14 +272,26 @@ epochSeconds()
     return uint64_t(time(nullptr));
 }
 
-/** Tasks whose most recent "done" event completed (ok or degraded). */
+/** Tasks whose most recent "done" event completed (ok or degraded).
+ *  Lines failing their CRC (torn writes) are skipped and counted in
+ *  @p corrupt_lines rather than trusted or fatal. */
 std::map<std::string, std::string>
-completedInJournal(const std::string &path)
+completedInJournal(const std::string &path, size_t &corrupt_lines)
 {
     std::map<std::string, std::string> last; // task -> last done outcome
     std::ifstream in(path);
     std::string line;
     while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (!crcLineOk(line)) {
+            ++corrupt_lines;
+            std::fprintf(stderr,
+                         "journal: skipping corrupt line (%zu bytes): "
+                         "%.40s...\n",
+                         line.size(), line.c_str());
+            continue;
+        }
         std::string event, task, outcome;
         if (!jsonField(line, "event", event) || event != "done")
             continue;
@@ -359,8 +442,10 @@ main(int argc, char **argv)
     // --resume: tasks the journal already shows completed keep their
     // recorded outcome and are not re-executed.
     size_t skipped = 0;
+    size_t corrupt_lines = 0;
     if (resume) {
-        const auto completed = completedInJournal(journal_path);
+        const auto completed =
+            completedInJournal(journal_path, corrupt_lines);
         for (auto &t : tasks) {
             const auto it = completed.find(t.name());
             if (it != completed.end()) {
@@ -376,10 +461,16 @@ main(int argc, char **argv)
     journal.open();
     journal.line(strfmt("{\"schema\":\"%s\",\"event\":\"suite-start\","
                         "\"ts\":%llu,\"tasks\":%zu,\"skipped\":%zu,"
-                        "\"resume\":%s}",
+                        "\"resume\":%s,\"journalCorrupt\":%zu}",
                         kJournalSchema,
                         (unsigned long long)epochSeconds(), tasks.size(),
-                        skipped, resume ? "true" : "false"));
+                        skipped, resume ? "true" : "false",
+                        corrupt_lines));
+    if (corrupt_lines > 0)
+        std::fprintf(stderr,
+                     "journal: %zu corrupt line(s) skipped during "
+                     "resume; affected tasks will re-run\n",
+                     corrupt_lines);
 
     const int max_attempts = retries + 1;
     std::vector<Running> running;

@@ -19,9 +19,11 @@
  * 3 = internal error (a pathsched bug).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,7 @@
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
 #include "profile/serialize.hpp"
+#include "profile/validate.hpp"
 #include "support/faultinject.hpp"
 #include "support/logging.hpp"
 #include "support/status.hpp"
@@ -61,6 +64,23 @@ usage()
         "  --no-ph                 skip Pettis-Hansen placement\n"
         "  --dump-paths FILE       write the workload's general path\n"
         "                          profile (training input) to FILE\n"
+        "  --dump-edges FILE       write the workload's edge profile\n"
+        "                          (training input) to FILE\n"
+        "  --profile-version 1|2   profile dump format; v2 embeds a\n"
+        "                          checksum and per-procedure CFG\n"
+        "                          fingerprints (default 1)\n"
+        "  --load-paths FILE       drive P4/P4e formation from this\n"
+        "                          path profile instead of training\n"
+        "  --load-edges FILE       drive M4/M16 formation from this\n"
+        "                          edge profile instead of training\n"
+        "  --profile-check MODE    admission for loaded profiles:\n"
+        "                          strict (any finding fails, exit 1),\n"
+        "                          repair (degrade per procedure,\n"
+        "                          exit 2; default), off (trust)\n"
+        "  --validate-profile      only admit the loaded profile(s)\n"
+        "                          against the workload and report;\n"
+        "                          exit 0 clean, 2 admissible with\n"
+        "                          degradations, 3 rejected\n"
         "  --json FILE             write a JSON report of every run to\n"
         "                          FILE ('-' = stdout, suppresses the\n"
         "                          table); see docs/observability.md\n"
@@ -115,7 +135,7 @@ parseConfig(const std::string &s, pipeline::SchedConfig &out)
 
 void
 dumpPaths(const workloads::Workload &w, const std::string &file,
-          const profile::PathProfileParams &params)
+          const profile::PathProfileParams &params, int version)
 {
     profile::PathProfiler pp(w.program, params);
     interp::Interpreter interp(w.program);
@@ -124,9 +144,106 @@ dumpPaths(const workloads::Workload &w, const std::string &file,
     std::ofstream out(file);
     if (!out)
         fatal("cannot open '%s' for writing", file.c_str());
-    out << profile::toText(pp);
+    out << (version == 2 ? profile::toTextV2(pp, w.program)
+                         : profile::toText(pp));
     std::printf("wrote %zu distinct paths to %s\n", pp.numPaths(),
                 file.c_str());
+}
+
+void
+dumpEdges(const workloads::Workload &w, const std::string &file,
+          int version)
+{
+    profile::EdgeProfiler ep(w.program);
+    interp::Interpreter interp(w.program);
+    interp.addListener(&ep);
+    interp.run(w.train);
+    std::ofstream out(file);
+    if (!out)
+        fatal("cannot open '%s' for writing", file.c_str());
+    out << (version == 2 ? profile::toTextV2(ep, w.program)
+                         : profile::toText(ep));
+    std::printf("wrote edge profile to %s\n", file.c_str());
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read '%s'", path.c_str());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return text;
+}
+
+/**
+ * Standalone admission (--validate-profile): check the loaded
+ * profile(s) against one workload's program without running the
+ * pipeline.  Returns the worst exit code seen: 0 clean, 2 admissible
+ * with degradations, 3 rejected outright.
+ */
+int
+validateAgainst(const workloads::Workload &w, const std::string &name,
+                const std::string &edge_text,
+                const std::string &path_text,
+                const profile::PathProfileParams &params)
+{
+    // Always audit in Repair mode here: Strict would stop at the first
+    // finding and Off would skip every check, but a validation run
+    // should enumerate everything wrong with the file.
+    profile::ValidateOptions vo;
+    vo.mode = profile::AdmissionMode::Repair;
+    profile::LoadOptions lo;
+    lo.lenient = true;
+    int exit_code = 0;
+    auto report = [&](const char *kind, const Status &load_st,
+                      const profile::ProfileAudit &audit) {
+        if (!load_st.ok()) {
+            std::printf("%s: %s profile: rejected (%s)\n", name.c_str(),
+                        kind, load_st.toString().c_str());
+            exit_code = 3;
+            return;
+        }
+        if (audit.clean()) {
+            std::printf("%s: %s profile: clean (%llu procedures "
+                        "checked)\n",
+                        name.c_str(), kind,
+                        (unsigned long long)audit.checked);
+            return;
+        }
+        for (const auto &pa : audit.procs)
+            std::printf("%s: %s profile: proc '%s' %s (%s): %s\n",
+                        name.c_str(), kind, pa.procName.c_str(),
+                        profile::procActionName(pa.action),
+                        errorKindName(pa.kind), pa.message.c_str());
+        if (audit.droppedPaths > 0)
+            std::printf("%s: %s profile: %llu records dropped\n",
+                        name.c_str(), kind,
+                        (unsigned long long)audit.droppedPaths);
+        exit_code = std::max(exit_code, 2);
+    };
+    if (!edge_text.empty()) {
+        profile::EdgeProfiler ep(w.program);
+        profile::ProfileMeta meta;
+        profile::ProfileAudit audit;
+        Status st = profile::loadEdgeProfile(edge_text, ep, meta, lo);
+        if (st.ok())
+            (void)profile::auditEdgeProfile(w.program, ep, meta, vo,
+                                            audit);
+        report("edge", st, audit);
+    }
+    if (!path_text.empty()) {
+        profile::PathProfiler pp(w.program, params);
+        profile::ProfileMeta meta;
+        profile::ProfileAudit audit;
+        Status st = profile::loadPathProfile(path_text, pp, meta, lo);
+        if (st.ok())
+            (void)profile::auditPathProfile(w.program, pp, meta, vo,
+                                            audit, nullptr);
+        report("path", st, audit);
+    }
+    return exit_code;
 }
 
 } // namespace
@@ -141,6 +258,11 @@ main(int argc, char **argv)
     std::string workload = "all";
     std::string config = "all";
     std::string dump_paths;
+    std::string dump_edges;
+    std::string load_paths;
+    std::string load_edges;
+    int profile_version = 1;
+    bool validate_profile = false;
     std::string json_file;
     std::string trace_file;
     std::vector<std::string> inject_specs;
@@ -189,6 +311,28 @@ main(int argc, char **argv)
             opts.pettisHansen = false;
         } else if (arg == "--dump-paths") {
             dump_paths = next();
+        } else if (arg == "--dump-edges") {
+            dump_edges = next();
+        } else if (arg == "--load-paths") {
+            load_paths = next();
+        } else if (arg == "--load-edges") {
+            load_edges = next();
+        } else if (arg == "--profile-version") {
+            profile_version = int(std::stoul(next()));
+            if (profile_version != 1 && profile_version != 2)
+                fatal("--profile-version must be 1 or 2");
+        } else if (arg == "--profile-check" ||
+                   arg.rfind("--profile-check=", 0) == 0) {
+            const std::string v = arg == "--profile-check"
+                                      ? next()
+                                      : arg.substr(std::strlen(
+                                            "--profile-check="));
+            if (!profile::parseAdmissionMode(v, opts.profileCheck))
+                fatal("unknown --profile-check mode '%s' (want "
+                      "strict, repair or off)",
+                      v.c_str());
+        } else if (arg == "--validate-profile") {
+            validate_profile = true;
         } else if (arg == "--json") {
             json_file = next();
         } else if (arg == "--trace") {
@@ -227,6 +371,26 @@ main(int argc, char **argv)
         names = workloads::benchmarkNames();
     } else {
         names.push_back(workload);
+    }
+
+    if (!load_edges.empty())
+        opts.edgeProfileText = readFile(load_edges);
+    if (!load_paths.empty())
+        opts.pathProfileText = readFile(load_paths);
+
+    if (validate_profile) {
+        if (load_edges.empty() && load_paths.empty())
+            fatal("--validate-profile needs --load-edges and/or "
+                  "--load-paths");
+        int exit_code = 0;
+        for (const auto &name : names) {
+            const auto w = workloads::makeByName(name);
+            exit_code = std::max(
+                exit_code,
+                validateAgainst(w, name, opts.edgeProfileText,
+                                opts.pathProfileText, opts.pathParams));
+        }
+        return exit_code;
     }
 
     std::vector<pipeline::SchedConfig> configs;
@@ -280,7 +444,9 @@ main(int argc, char **argv)
     for (const auto &name : names) {
         const auto w = workloads::makeByName(name);
         if (!dump_paths.empty())
-            dumpPaths(w, dump_paths, opts.pathParams);
+            dumpPaths(w, dump_paths, opts.pathParams, profile_version);
+        if (!dump_edges.empty())
+            dumpEdges(w, dump_edges, profile_version);
         for (const auto c : configs) {
             // The wall budget is per pipeline run, so the clock starts
             // fresh here rather than at option parsing.
@@ -302,6 +468,24 @@ main(int argc, char **argv)
                                  name.c_str(), r.name.c_str(),
                                  d.procName.c_str(), d.stage.c_str(),
                                  errorKindName(d.kind));
+            }
+            if (r.profileAudit.enabled && !r.profileAudit.clean()) {
+                // Admission repairs (projected-edge degradations, file
+                // fallback) do not appear in r.degraded; surface them
+                // and count them toward the degraded exit code.
+                any_degraded = true;
+                if (r.profileAudit.fileRejected)
+                    std::fprintf(
+                        stderr, "profile: %s/%s file rejected (%s)\n",
+                        name.c_str(), r.name.c_str(),
+                        r.profileAudit.fileStatus.toString().c_str());
+                for (const auto &pa : r.profileAudit.procs)
+                    std::fprintf(
+                        stderr, "profile: %s/%s proc %s %s (%s)\n",
+                        name.c_str(), r.name.c_str(),
+                        pa.procName.c_str(),
+                        profile::procActionName(pa.action),
+                        errorKindName(pa.kind));
             }
             if (print_table)
                 std::printf(
