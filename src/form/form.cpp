@@ -5,6 +5,7 @@
 #include "form/materialize.hpp"
 #include "form/select.hpp"
 #include "ir/verifier.hpp"
+#include "pipeline/stages.hpp"
 #include "support/logging.hpp"
 #include "support/strutil.hpp"
 
@@ -93,12 +94,9 @@ formProgram(ir::Program &prog, const profile::EdgeProfiler *ep,
             const profile::PathProfiler *pp, const FormConfig &config)
 {
     FormStats stats;
-    for (ir::ProcId p = 0; p < prog.procs.size(); ++p) {
-        Status st = formProcedure(prog, p, ep, pp, config, stats);
-        if (!st.ok())
-            panic("formation failed for proc %s: %s",
-                  prog.procs[p].name.c_str(), st.toString().c_str());
-    }
+    pipeline::forEachProcOrDie(prog, "formation", [&](ir::ProcId p) {
+        return formProcedure(prog, p, ep, pp, config, stats);
+    });
     ir::verifyOrDie(prog, ir::VerifyMode::Superblock);
     return stats;
 }

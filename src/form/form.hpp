@@ -87,6 +87,18 @@ struct FormStats
     uint64_t enlargedSuperblocks = 0;
     uint64_t blocksDuplicated = 0;
     uint64_t unreachableRemoved = 0;
+
+    FormStats &
+    operator+=(const FormStats &o)
+    {
+        tracesSelected += o.tracesSelected;
+        multiBlockTraces += o.multiBlockTraces;
+        superblocksFormed += o.superblocksFormed;
+        enlargedSuperblocks += o.enlargedSuperblocks;
+        blocksDuplicated += o.blocksDuplicated;
+        unreachableRemoved += o.unreachableRemoved;
+        return *this;
+    }
 };
 
 /**

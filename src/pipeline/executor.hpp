@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Work-distributing task executor for per-procedure pipeline stages.
+ *
+ * Every per-procedure transform stage (form, compact, regalloc,
+ * postschedule, verify) is independent across procedures; only the
+ * stage order *within* one procedure matters.  runPipeline expresses
+ * that as a TaskGraph — one node per (procedure, stage), with an edge
+ * from each stage to the next stage of the same procedure — and hands
+ * it to an Executor, which runs the graph on a pool of worker threads
+ * under a selectable work-distribution policy (the OpenMP
+ * static/dynamic/steal trichotomy):
+ *
+ *  - static:  every node is pre-assigned to worker (affinity mod
+ *             threads); workers never exchange work.  Predictable, but
+ *             idles workers whose procedures finish early.
+ *  - dynamic: one shared FIFO ready queue; workers pull the oldest
+ *             ready node.  Good load balance, central contention.
+ *  - steal:   per-worker deques; a worker pushes nodes it unblocks
+ *             onto its own deque (so a procedure's chain stays local)
+ *             and steals from a sibling's tail when it runs dry.
+ *
+ * Determinism contract: tasks must write only task-owned state (the
+ * pipeline gives each procedure its own stats/context and merges them
+ * in procedure-id order at the join), so the *results* are identical
+ * under every policy and thread count.  With threads <= 1 the executor
+ * runs nodes inline on the calling thread in ready-FIFO order — for a
+ * stage-major graph that is exactly the historical serial loop order,
+ * which is what makes "serial" just the 1-thread schedule of the same
+ * graph.
+ *
+ * Tasks are coarse (a whole pass over one procedure), so the queues are
+ * guarded by one mutex rather than lock-free deques; the lock cost is
+ * noise next to task bodies.
+ */
+
+#ifndef PATHSCHED_PIPELINE_EXECUTOR_HPP
+#define PATHSCHED_PIPELINE_EXECUTOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pathsched::pipeline {
+
+/** Work-distribution policy of the Executor (see the file comment). */
+enum class ExecPolicy
+{
+    Static,
+    Dynamic,
+    Steal,
+};
+
+/** Lower-case CLI name, e.g. "steal". */
+const char *execPolicyName(ExecPolicy policy);
+
+/** Parse a CLI name ("static" | "dynamic" | "steal"); false if bad. */
+bool parseExecPolicy(const std::string &name, ExecPolicy &out);
+
+/** What one Executor::run did. */
+struct ExecStats
+{
+    unsigned threads = 1;   ///< workers actually used
+    ExecPolicy policy = ExecPolicy::Steal;
+    uint64_t tasks = 0;     ///< nodes executed
+    uint64_t steals = 0;    ///< nodes taken from another worker's deque
+};
+
+/**
+ * A dependency DAG of runnable tasks.  Nodes are added in a fixed
+ * order; dependencies must point at already-added nodes, which makes
+ * cycles unrepresentable.  The node order doubles as the deterministic
+ * inline (threads <= 1) execution order among simultaneously-ready
+ * nodes.
+ */
+class TaskGraph
+{
+  public:
+    using Fn = std::function<void()>;
+
+    /**
+     * Append a node running @p fn after every node in @p deps.
+     * @p affinity groups nodes that should share a worker under the
+     * static policy (the pipeline passes the procedure id, keeping each
+     * procedure's stage chain on one worker); negative means "any".
+     * Returns the node id for use in later deps lists.
+     */
+    size_t add(Fn fn, const std::vector<size_t> &deps = {},
+               int affinity = -1);
+
+    size_t size() const { return nodes_.size(); }
+
+  private:
+    friend class Executor;
+
+    struct Node
+    {
+        Fn fn;
+        std::vector<size_t> succs;
+        uint32_t preds = 0;
+        int affinity = -1;
+    };
+
+    std::vector<Node> nodes_;
+};
+
+/** Runs TaskGraphs; see the file comment. */
+class Executor
+{
+  public:
+    /** @p threads = 0 selects hardwareThreads(). */
+    explicit Executor(unsigned threads,
+                      ExecPolicy policy = ExecPolicy::Steal);
+
+    /**
+     * Execute every node of @p graph, respecting dependencies; returns
+     * once all nodes have run.  The graph is consumed (node functions
+     * are moved out as they run).
+     */
+    ExecStats run(TaskGraph &graph);
+
+    unsigned threads() const { return threads_; }
+    ExecPolicy policy() const { return policy_; }
+
+    /** std::thread::hardware_concurrency(), clamped to >= 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    unsigned threads_;
+    ExecPolicy policy_;
+};
+
+} // namespace pathsched::pipeline
+
+#endif // PATHSCHED_PIPELINE_EXECUTOR_HPP

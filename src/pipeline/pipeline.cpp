@@ -1,11 +1,18 @@
 #include "pipeline/pipeline.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
 #include "analysis/callgraph.hpp"
 #include "interp/stats_listener.hpp"
 #include "ir/verifier.hpp"
 #include "layout/code_layout.hpp"
 #include "layout/pettis_hansen.hpp"
+#include "pipeline/cache.hpp"
 #include "profile/edge_profile.hpp"
+#include "profile/serialize.hpp"
 #include "support/logging.hpp"
 #include "support/strutil.hpp"
 
@@ -44,6 +51,47 @@ configName(SchedConfig config)
     }
     return "<bad>";
 }
+
+// The one-release shim: normalized() is the single place that still
+// reads the deprecated flat fields.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+PipelineOptions
+PipelineOptions::normalized() const
+{
+    PipelineOptions n = *this;
+    if (!n.budget.unlimited())
+        n.robustness.budget = n.budget;
+    if (n.observer != nullptr)
+        n.observability.observer = n.observer;
+    if (n.interpStats)
+        n.observability.interpStats = true;
+    if (!n.edgeProfileText.empty())
+        n.profileInput.edgeText = n.edgeProfileText;
+    if (!n.pathProfileText.empty())
+        n.profileInput.pathText = n.pathProfileText;
+    if (n.profileCheck != profile::AdmissionMode::Repair)
+        n.profileInput.check = n.profileCheck;
+    if (n.profileFlowSlack != 1)
+        n.profileInput.flowSlack = n.profileFlowSlack;
+    if (n.faults != nullptr)
+        n.robustness.faults = n.faults;
+    // Reset the flat fields so normalizing twice changes nothing.
+    n.budget = ResourceBudget();
+    n.observer = nullptr;
+    n.interpStats = false;
+    n.edgeProfileText.clear();
+    n.pathProfileText.clear();
+    n.profileCheck = profile::AdmissionMode::Repair;
+    n.profileFlowSlack = 1;
+    n.faults = nullptr;
+    return n;
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 form::FormConfig
 formConfigFor(SchedConfig config, const PipelineOptions &options)
@@ -90,6 +138,77 @@ enum class StageReached
     Postsched, ///< postschedule + IR verification have run
 };
 
+/** Accumulates the enclosing scope's wall time into a double, so a
+ *  stage's total is the sum of its tasks regardless of which worker
+ *  ran them. */
+class MsAccum
+{
+  public:
+    explicit MsAccum(double &acc)
+        : acc_(acc), t0_(std::chrono::steady_clock::now())
+    {}
+    ~MsAccum()
+    {
+        acc_ += std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0_)
+                    .count();
+    }
+
+  private:
+    double &acc_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+/**
+ * Everything one procedure's task chain reads and writes exclusively.
+ * Workers never share a ProcCtx, which is the whole determinism story:
+ * all cross-procedure aggregation happens at the serial joins, in
+ * procedure-id order.
+ */
+struct ProcCtx
+{
+    form::FormStats form;
+    sched::CompactStats compact;
+    regalloc::AllocStats alloc;
+    sched::ScheduleStats postsched;
+    /** Locally-numbered spill slots (rebased at the phase-A join). */
+    regalloc::SpillPlan spill;
+    /** This procedure's degradations, merged at the join. */
+    std::vector<Degradation> degraded;
+    /** Multi-threaded runs: a private registry stands in for the
+     *  shared one and merges at the join. */
+    std::unique_ptr<obs::StatRegistry> ownStats;
+    /** "time.<config>."-prefixed observer backing this chain's pass
+     *  timers (the real observer when single-threaded). */
+    obs::Observer timed;
+    double formMs = 0, compactMs = 0, regallocMs = 0, postschedMs = 0;
+    bool cacheHit = false;
+    bool cacheEligible = false;
+    CacheKey key;
+    /** Phase B: a failed IR verification, handled serially after the
+     *  join (its fallback reallocates spill slots, which is a serial
+     *  operation). */
+    Status verifyFailure;
+};
+
+/** Little-endian FNV-1a over a u64 sequence — the per-record primitive
+ *  of the per-procedure profile content hash. */
+uint64_t
+hashU64s(std::initializer_list<uint64_t> vals)
+{
+    uint8_t buf[8 * 8];
+    size_t n = 0;
+    for (uint64_t v : vals) {
+        for (int i = 0; i < 8; ++i)
+            buf[n++] = uint8_t((v >> (8 * i)) & 0xff);
+    }
+    return profile::fnv1a64(buf, n);
+}
+
+/** Bump when anything about the transform chain's semantics changes,
+ *  so stale --cache-dir entries from older builds can never hit. */
+constexpr uint64_t kCacheSchema = 1;
+
 } // namespace
 
 PipelineResult
@@ -97,6 +216,7 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
             const interp::ProgramInput &test, SchedConfig config,
             const PipelineOptions &options)
 {
+    const PipelineOptions opt = options.normalized();
     PipelineResult result;
     result.config = config;
     result.name = configName(config);
@@ -110,31 +230,43 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
 
     // Observability: "timed" carries the "time.<config>." prefix for
     // stage stopwatches; counters register as <stage>.<config>.<name>.
-    const obs::Observer base =
-        options.observer != nullptr ? *options.observer : obs::Observer();
+    const obs::Observer base = opt.observability.observer != nullptr
+                                   ? *opt.observability.observer
+                                   : obs::Observer();
     const obs::Observer timed =
         base.withPrefix("time." + result.name + ".");
     const std::string cfg_dot = "." + result.name + ".";
     const bool want_interp_stats =
-        options.interpStats && base.stats != nullptr;
+        opt.observability.interpStats && base.stats != nullptr;
 
     // Resource governance: null when no budget is set, so the entire
     // budget machinery vanishes and the run is bit-identical to an
     // unbudgeted build.
-    const ResourceBudget &bud = options.budget;
+    const ResourceBudget &bud = opt.robustness.budget;
     const bool budget_active = !bud.unlimited();
     const ResourceBudget *budp = budget_active ? &bud : nullptr;
     result.budgeted = budget_active;
 
+    // Executor setup.  The thread count and policy change only *how*
+    // the per-procedure chains are interleaved, never their results.
+    unsigned threads = opt.executor.threads;
+    if (threads == 0)
+        threads = Executor::hardwareThreads();
+    const bool parallel = threads > 1;
+    StageCache *cache = opt.executor.cache;
+    result.exec.threads = threads;
+    result.exec.policy = opt.executor.policy;
+    result.exec.cacheEnabled = cache != nullptr;
+
     // --- 1. Training run on the original program: gather profiles and
     //        dynamic call counts for procedure placement. ---
     profile::EdgeProfiler edge_profile(program);
-    profile::PathProfiler path_profile(program, options.pathParams);
+    profile::PathProfiler path_profile(program, opt.pathParams);
     interp::RunResult train_run;
     {
         auto t = timed.time("train");
         interp::InterpOptions iopts;
-        iopts.maxSteps = options.maxSteps;
+        iopts.maxSteps = opt.maxSteps;
         iopts.budgetSteps = bud.interpSteps;
         iopts.deadline = bud.deadline;
         iopts.collectCallCounts = true;
@@ -165,7 +297,7 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         result.status = Status::error(
             ErrorKind::StepLimit,
             strfmt("training run exceeded %llu steps",
-                   (unsigned long long)options.maxSteps));
+                   (unsigned long long)opt.maxSteps));
         return result;
     }
     if (train_run.budgetStop) {
@@ -195,7 +327,7 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     //         no external text this whole block is inert and the run
     //         is bit-identical to a build without the admission layer.
     profile::EdgeProfiler ext_edge(program);
-    profile::PathProfiler ext_path(program, options.pathParams);
+    profile::PathProfiler ext_path(program, opt.pathParams);
     profile::EdgeProfiler proj_edge(program);
     const profile::EdgeProfiler *edge_for_form = &edge_profile;
     const profile::PathProfiler *path_for_form = &path_profile;
@@ -206,15 +338,16 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         const bool need_path = config == SchedConfig::P4 ||
                                config == SchedConfig::P4e;
         profile::ValidateOptions vo;
-        vo.mode = options.profileCheck;
-        vo.flowSlack = options.profileFlowSlack;
+        vo.mode = opt.profileInput.check;
+        vo.flowSlack = opt.profileInput.flowSlack;
         profile::LoadOptions lo;
         lo.lenient =
-            options.profileCheck == profile::AdmissionMode::Repair;
+            opt.profileInput.check == profile::AdmissionMode::Repair;
         // Whole-file rejection: Repair substitutes the internal
         // training profile; Strict and Off fail the run (true).
         auto admitFailed = [&](Status st) -> bool {
-            if (options.profileCheck == profile::AdmissionMode::Repair) {
+            if (opt.profileInput.check ==
+                profile::AdmissionMode::Repair) {
                 warn("config %s: external profile rejected (%s); "
                      "falling back to the internal training profile",
                      result.name.c_str(), st.toString().c_str());
@@ -226,10 +359,10 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
             result.status = std::move(st);
             return true;
         };
-        if (need_edge && !options.edgeProfileText.empty()) {
+        if (need_edge && !opt.profileInput.edgeText.empty()) {
             profile::ProfileMeta meta;
-            Status st = profile::loadEdgeProfile(options.edgeProfileText,
-                                                 ext_edge, meta, lo);
+            Status st = profile::loadEdgeProfile(
+                opt.profileInput.edgeText, ext_edge, meta, lo);
             if (!st.ok()) {
                 if (admitFailed(std::move(st)))
                     return result;
@@ -243,10 +376,10 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                 edge_for_form = &ext_edge;
             }
         }
-        if (need_path && !options.pathProfileText.empty()) {
+        if (need_path && !opt.profileInput.pathText.empty()) {
             profile::ProfileMeta meta;
-            Status st = profile::loadPathProfile(options.pathProfileText,
-                                                 ext_path, meta, lo);
+            Status st = profile::loadPathProfile(
+                opt.profileInput.pathText, ext_path, meta, lo);
             if (!st.ok()) {
                 if (admitFailed(std::move(st)))
                     return result;
@@ -283,43 +416,75 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         }
     }
 
-    // --- 2. Transform a copy of the program, one procedure at a time,
-    //        with per-procedure quarantine (see the file comment). ---
+    // --- 2. Transform a copy of the program as a task DAG: one chain
+    //        of per-procedure stage tasks per procedure, with
+    //        per-procedure quarantine (see the file comment). ---
     ir::Program prog = program;
     const size_t num_procs = prog.procs.size();
     std::vector<uint8_t> quarantined(num_procs, 0);
 
+    // Recursion is a property of the caller->callee edge set, which no
+    // transform stage changes (formation duplicates call sites but
+    // never severs an edge), so it is computed once here and shared
+    // read-only across workers — computing it lazily inside regalloc
+    // would be a whole-program read racing the other chains.
+    std::vector<uint8_t> recursive;
+    if (opt.registerAllocate)
+        recursive = regalloc::findRecursiveProcs(prog);
+
     // Stage-boundary fault injection; quarantined procedures are never
-    // queried again, so the BB fallback cannot be re-failed.
+    // queried again, so the BB fallback cannot be re-failed.  The
+    // injector keeps internal state (fire counts, its RNG), hence the
+    // mutex; which *worker* reaches a shared count=/prob= fault first
+    // is scheduling-dependent, so only proc-targeted deterministic
+    // faults give thread-count-invariant attribution.
+    FaultInjector *const faults = opt.robustness.faults;
+    std::mutex fault_mu;
     auto inject = [&](const char *stage, ir::ProcId p) -> Status {
-        if (options.faults == nullptr || quarantined[p])
+        if (faults == nullptr || quarantined[p])
             return Status();
-        if (auto kind = options.faults->fire(stage, p))
+        std::optional<ErrorKind> kind;
+        {
+            std::lock_guard<std::mutex> lk(fault_mu);
+            kind = faults->fire(stage, p);
+        }
+        if (kind)
             return Status::error(
                 *kind, strfmt("injected fault at %s", stage));
         return Status();
     };
 
-    auto noteFailure = [&](ir::ProcId p, const char *stage,
-                           const Status &st) {
+    auto noteFailureTo = [&](std::vector<Degradation> &out, ir::ProcId p,
+                             const char *stage, const Status &st) {
         quarantined[p] = 1;
         warn("config %s: proc %s failed at %s (%s); degrading to BB",
              result.name.c_str(), program.procs[p].name.c_str(), stage,
              st.toString().c_str());
-        result.degraded.push_back({p, program.procs[p].name, stage,
-                                   st.kind(), st.message()});
+        out.push_back({p, program.procs[p].name, stage, st.kind(),
+                       st.message()});
     };
 
     // An expired run-wide deadline ends the run with a typed status at
-    // the next per-procedure loop boundary (the stage that noticed the
-    // expiry has already degraded its in-flight procedure by then).
+    // the phase join; tasks poll the flag on entry and fall through
+    // (the stage that noticed the expiry has already degraded its
+    // in-flight procedure by then).
+    std::atomic<bool> deadline_hit{false};
+    std::mutex deadline_mu;
+    Status deadline_status;
     auto deadlineUp = [&](const char *stage) -> bool {
         if (!budget_active)
             return false;
+        if (deadline_hit.load(std::memory_order_relaxed))
+            return true;
         Status st = deadlineStatus(budp, stage);
         if (st.ok())
             return false;
-        result.status = std::move(st);
+        {
+            std::lock_guard<std::mutex> lk(deadline_mu);
+            if (deadline_status.ok())
+                deadline_status = std::move(st);
+        }
+        deadline_hit.store(true, std::memory_order_relaxed);
         return true;
     };
     // Per-procedure budget view: quarantined procedures already run
@@ -328,89 +493,330 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         return quarantined[p] ? nullptr : budp;
     };
 
+    // Per-procedure task state; see ProcCtx.
+    std::vector<ProcCtx> ctxs(num_procs);
+    for (size_t p = 0; p < num_procs; ++p) {
+        if (!parallel) {
+            ctxs[p].timed = timed;
+        } else if (base.stats != nullptr) {
+            ctxs[p].ownStats = std::make_unique<obs::StatRegistry>();
+            obs::Observer own;
+            own.stats = ctxs[p].ownStats.get();
+            ctxs[p].timed =
+                own.withPrefix("time." + result.name + ".");
+        }
+        // else: parallel with no stats sink — ctx.timed stays sinkless.
+    }
+
+    // Stage-cache admission: a chain may be memoized only when its
+    // result is a pure function of the key — no budgets (they degrade),
+    // no armed faults (they misbehave on purpose), no admission action
+    // on the procedure (it changes the profile the chain consumes).
+    const bool cache_usable =
+        cache != nullptr && !budget_active && faults == nullptr;
+    if (cache_usable) {
+        const bool edge_cfg = config == SchedConfig::M4 ||
+                              config == SchedConfig::M16;
+        const bool path_cfg = config == SchedConfig::P4 ||
+                              config == SchedConfig::P4e;
+        // Per-procedure profile content hash.  Record hashes combine
+        // by wrapping addition: the profilers iterate hash maps, whose
+        // order must not leak into the key.
+        std::vector<uint64_t> prof_hash(num_procs, 0);
+        if (edge_cfg) {
+            edge_for_form->forEachBlock(
+                [&](ir::ProcId p, ir::BlockId b, uint64_t count) {
+                    prof_hash[p] += hashU64s({1, b, count});
+                });
+            edge_for_form->forEachEdge([&](ir::ProcId p, ir::BlockId f,
+                                           ir::BlockId t,
+                                           uint64_t count) {
+                prof_hash[p] += hashU64s({2, f, t, count});
+            });
+        } else if (path_cfg) {
+            path_for_form->forEachPath(
+                [&](ir::ProcId p, const std::vector<ir::BlockId> &seq,
+                    uint64_t count) {
+                    uint64_t h = hashU64s({3, count, seq.size()});
+                    for (ir::BlockId b : seq)
+                        h = hashU64s({h, b});
+                    prof_hash[p] += h;
+                });
+        }
+        const uint64_t machine_hash = hashMachineModel(opt.machine);
+        uint64_t cfg_bits = 0;
+        static_assert(sizeof cfg_bits == sizeof opt.completionThreshold);
+        std::memcpy(&cfg_bits, &opt.completionThreshold,
+                    sizeof cfg_bits);
+        std::string body;
+        for (size_t p = 0; p < num_procs; ++p) {
+            ProcCtx &ctx = ctxs[p];
+            ctx.cacheEligible =
+                !audit.enabled || audit.findProc(p) == nullptr;
+            if (!ctx.cacheEligible)
+                continue;
+            body.clear();
+            serializeProcedure(program.procs[p], body);
+            KeyHasher h;
+            h.u64(kCacheSchema)
+                .u64(uint64_t(config))
+                .str(body)
+                .u64(profile::cfgFingerprint(program.procs[p]))
+                .u64(prof_hash[p])
+                .u64(machine_hash)
+                .u64(cfg_bits)
+                .u64(opt.maxInstrs)
+                .u64(opt.enlarge ? 1 : 0)
+                .u64(opt.growUpward ? 1 : 0)
+                .u64(uint64_t(opt.schedPriority))
+                .u64(opt.registerAllocate ? 1 : 0)
+                .u64(opt.pathParams.maxBranches)
+                .u64(opt.pathParams.maxBlocks)
+                .u64(opt.pathParams.forwardPathsOnly ? 1 : 0)
+                .u64(opt.registerAllocate && recursive[p] ? 1 : 0);
+            ctx.key = h.key();
+        }
+    }
+
+    // A hit replays the whole transform chain from the cache entry:
+    // the post-regalloc body (spill offsets still sentinel-relative)
+    // plus the chain's counters.
+    auto tryCacheRestore = [&](ProcCtx &ctx, ir::ProcId p) -> bool {
+        if (!ctx.cacheEligible)
+            return false;
+        StageCache::Entry e;
+        if (!cache->lookup(ctx.key, e))
+            return false;
+        prog.procs[p] = std::move(e.proc);
+        prog.procs[p].syncSideTables();
+        ctx.form = e.form;
+        ctx.compact = e.compact;
+        ctx.alloc = e.alloc;
+        ctx.spill.slots = e.spillSlots;
+        ctx.cacheHit = true;
+        return true;
+    };
+    // Memoize a cleanly-completed chain (a quarantined procedure's body
+    // is the fallback's work, not this key's transform).
+    auto storeInCache = [&](ProcCtx &ctx, ir::ProcId p) {
+        if (!ctx.cacheEligible || ctx.cacheHit || quarantined[p])
+            return;
+        StageCache::Entry e;
+        e.proc = prog.procs[p];
+        e.spillSlots = ctx.spill.slots;
+        e.form = ctx.form;
+        e.compact = ctx.compact;
+        e.alloc = ctx.alloc;
+        cache->insert(ctx.key, e);
+    };
+
     // Restore procedure p's original (basic-block) body and re-run the
-    // stages its peers have already completed — injection-free.  A
-    // failure here means the always-safe baseline itself is broken,
-    // which is an internal bug: abort.
-    auto rebuildAsBB = [&](ir::ProcId p, StageReached reached) {
-        auto t = timed.time("fallback");
+    // stages its chain already passed — budget- and injection-free,
+    // entirely within the chain's own tasks.  A failure here means the
+    // always-safe baseline itself is broken, which is an internal bug:
+    // abort.
+    auto rebuildInChain = [&](ProcCtx &ctx, ir::ProcId p,
+                              StageReached reached) {
+        auto t = ctx.timed.time("fallback");
         prog.procs[p] = program.procs[p];
         prog.procs[p].syncSideTables();
+        ctx.spill.slots = 0; // the restored body references no slots
         Status st = Status();
         sched::CompactOptions fb_opts;
-        fb_opts.priority = options.schedPriority;
+        fb_opts.priority = opt.schedPriority;
         sched::CompactStats fb_compact;
         regalloc::AllocStats fb_alloc;
         if (reached >= StageReached::Compact)
-            st = sched::compactProcedure(prog, p, options.machine,
-                                         fb_opts, fb_compact);
+            st = sched::compactProcedure(prog, p, opt.machine, fb_opts,
+                                         fb_compact);
         if (st.ok() && reached >= StageReached::Regalloc &&
-            options.registerAllocate)
+            opt.registerAllocate) {
+            regalloc::AllocOptions ao;
+            ao.recursive = &recursive;
+            ao.spill = &ctx.spill;
             st = regalloc::allocateProcedure(
-                prog, p, options.machine.numRegs, fb_alloc);
-        if (st.ok() && reached >= StageReached::Postsched) {
-            if (options.registerAllocate)
-                sched::scheduleProcedure(prog, p, options.machine,
-                                         options.schedPriority);
-            st = ir::verifyProcStatus(prog, p,
-                                      ir::VerifyMode::Superblock);
+                prog, p, opt.machine.numRegs, fb_alloc, ao);
         }
         if (!st.ok())
             panic("BB fallback failed for proc %s: %s",
                   program.procs[p].name.c_str(), st.toString().c_str());
     };
 
+    // --- Phase A: form -> compact -> regalloc, one chain per
+    //     procedure.  Nodes are inserted stage-major so the 1-thread
+    //     ready-FIFO order replays the historical serial loops. ---
+    form::FormConfig fc, fc_proj;
     if (config != SchedConfig::BB) {
-        // ".total" keeps the stage stopwatch a sibling of the
-        // sub-stage distributions ("time.P4.form.select", ...).
-        auto t = timed.time("form.total");
-        form::FormConfig fc = formConfigFor(config, options);
-        const obs::Observer form_obs = timed.withPrefix("form.");
-        fc.observer = &form_obs;
+        fc = formConfigFor(config, opt);
         // Degradation cascade for procedures whose path profile lost
         // windows to admission but still projects consistently: form
         // them edge-driven (M4-style) from the projection.
-        form::FormConfig fc_proj = fc;
+        fc_proj = fc;
         fc_proj.mode = form::ProfileMode::Edge;
         fc_proj.unrollFactor = 4;
-        for (ir::ProcId p = 0; p < num_procs; ++p) {
-            if (deadlineUp("form"))
-                return result;
-            const profile::ProcAudit *pa =
-                audit.enabled ? audit.findProc(p) : nullptr;
-            if (pa && pa->action == profile::ProcAction::Quarantined) {
-                // No believable profile data for this procedure:
-                // schedule it from the BB baseline.
-                noteFailure(p, "profile",
-                            Status::error(pa->kind, pa->message));
-                rebuildAsBB(p, StageReached::Form);
-                continue;
-            }
-            const bool use_proj =
-                pa && pa->action == profile::ProcAction::ProjectedEdges;
-            const char *stage = "form";
-            fc.budget = budgetFor(p);
-            fc_proj.budget = fc.budget;
-            Status st = inject(stage, p);
-            if (st.ok())
-                st = use_proj
-                         ? form::formProcedure(prog, p, &proj_edge,
-                                               nullptr, fc_proj,
-                                               result.form)
-                         : form::formProcedure(prog, p, edge_for_form,
-                                               path_for_form, fc,
-                                               result.form);
-            if (st.ok()) {
-                stage = "materialize";
-                st = inject(stage, p);
-            }
-            if (!st.ok()) {
-                noteFailure(p, stage, st);
-                rebuildAsBB(p, StageReached::Form);
-            }
+    }
+
+    auto formTask = [&](ir::ProcId p) {
+        ProcCtx &ctx = ctxs[p];
+        MsAccum acc(ctx.formMs);
+        if (deadlineUp("form"))
+            return;
+        const profile::ProcAudit *pa =
+            audit.enabled ? audit.findProc(p) : nullptr;
+        if (pa && pa->action == profile::ProcAction::Quarantined) {
+            // No believable profile data for this procedure: schedule
+            // it from the BB baseline.
+            noteFailureTo(ctx.degraded, p, "profile",
+                          Status::error(pa->kind, pa->message));
+            rebuildInChain(ctx, p, StageReached::Form);
+            return;
         }
-        t.stop();
-        result.stages.push_back({"form", t.elapsedMs()});
+        if (tryCacheRestore(ctx, p))
+            return;
+        const bool use_proj =
+            pa && pa->action == profile::ProcAction::ProjectedEdges;
+        form::FormConfig my_fc = use_proj ? fc_proj : fc;
+        const obs::Observer form_obs = ctx.timed.withPrefix("form.");
+        my_fc.observer = &form_obs;
+        my_fc.budget = budgetFor(p);
+        const char *stage = "form";
+        Status st = inject(stage, p);
+        if (st.ok())
+            st = use_proj
+                     ? form::formProcedure(prog, p, &proj_edge, nullptr,
+                                           my_fc, ctx.form)
+                     : form::formProcedure(prog, p, edge_for_form,
+                                           path_for_form, my_fc,
+                                           ctx.form);
+        if (st.ok()) {
+            stage = "materialize";
+            st = inject(stage, p);
+        }
+        if (!st.ok()) {
+            noteFailureTo(ctx.degraded, p, stage, st);
+            rebuildInChain(ctx, p, StageReached::Form);
+        }
+    };
+
+    auto compactTask = [&](ir::ProcId p) {
+        ProcCtx &ctx = ctxs[p];
+        MsAccum acc(ctx.compactMs);
+        if (ctx.cacheHit)
+            return;
+        if (deadlineUp("compact"))
+            return;
+        // For the BB config this is the chain head: the cache lookup
+        // lives here.
+        if (config == SchedConfig::BB && tryCacheRestore(ctx, p))
+            return;
+        sched::CompactOptions copts;
+        copts.priority = opt.schedPriority;
+        const obs::Observer compact_obs =
+            ctx.timed.withPrefix("compact.");
+        copts.observer = &compact_obs;
+        copts.budget = budgetFor(p);
+        Status st = inject("compact", p);
+        if (st.ok())
+            st = sched::compactProcedure(prog, p, opt.machine, copts,
+                                         ctx.compact);
+        if (!st.ok()) {
+            noteFailureTo(ctx.degraded, p, "compact", st);
+            rebuildInChain(ctx, p, StageReached::Compact);
+        }
+        if (!opt.registerAllocate)
+            storeInCache(ctx, p); // chain ends here
+    };
+
+    auto regallocTask = [&](ir::ProcId p) {
+        ProcCtx &ctx = ctxs[p];
+        MsAccum acc(ctx.regallocMs);
+        if (ctx.cacheHit)
+            return;
+        if (deadlineUp("regalloc"))
+            return;
+        Status st = inject("regalloc", p);
+        if (st.ok()) {
+            regalloc::AllocOptions ao;
+            ao.budget = budgetFor(p);
+            ao.recursive = &recursive;
+            ao.spill = &ctx.spill;
+            st = regalloc::allocateProcedure(
+                prog, p, opt.machine.numRegs, ctx.alloc, ao);
+        }
+        if (!st.ok()) {
+            noteFailureTo(ctx.degraded, p, "regalloc", st);
+            rebuildInChain(ctx, p, StageReached::Regalloc);
+        }
+        storeInCache(ctx, p);
+    };
+
+    {
+        TaskGraph graph;
+        std::vector<size_t> prev(num_procs, SIZE_MAX);
+        if (config != SchedConfig::BB) {
+            for (ir::ProcId p = 0; p < num_procs; ++p)
+                prev[p] = graph.add([&formTask, p] { formTask(p); }, {},
+                                    int(p));
+        }
+        for (ir::ProcId p = 0; p < num_procs; ++p) {
+            const std::vector<size_t> deps =
+                prev[p] == SIZE_MAX ? std::vector<size_t>{}
+                                    : std::vector<size_t>{prev[p]};
+            prev[p] = graph.add([&compactTask, p] { compactTask(p); },
+                                deps, int(p));
+        }
+        if (opt.registerAllocate) {
+            for (ir::ProcId p = 0; p < num_procs; ++p)
+                prev[p] = graph.add(
+                    [&regallocTask, p] { regallocTask(p); }, {prev[p]},
+                    int(p));
+        }
+        Executor ex(threads, opt.executor.policy);
+        ExecStats es = ex.run(graph);
+        result.exec.tasks += es.tasks;
+        result.exec.steals += es.steals;
+    }
+
+    // --- Phase A join (serial).  Everything order-sensitive happens
+    //     here, in procedure-id order: stat merging, degradation
+    //     recording, and spill-slot rebasing. ---
+    double form_ms = 0, compact_ms = 0, regalloc_ms = 0;
+    for (size_t p = 0; p < num_procs; ++p) {
+        ProcCtx &ctx = ctxs[p];
+        result.form += ctx.form;
+        result.compact += ctx.compact;
+        result.alloc += ctx.alloc;
+        for (auto &d : ctx.degraded)
+            result.degraded.push_back(std::move(d));
+        ctx.degraded.clear();
+        if (ctx.cacheHit)
+            ++result.exec.cacheHits;
+        else if (ctx.cacheEligible)
+            ++result.exec.cacheMisses;
+        form_ms += ctx.formMs;
+        compact_ms += ctx.compactMs;
+        regalloc_ms += ctx.regallocMs;
+        if (ctx.ownStats != nullptr)
+            base.stats->merge(*ctx.ownStats);
+    }
+    // Rebase every chain's locally-numbered spill slots onto the
+    // program's data memory.  Procedure-id order reproduces the
+    // historical serial slot addresses for non-degraded runs.
+    if (opt.registerAllocate) {
+        for (size_t p = 0; p < num_procs; ++p) {
+            if (ctxs[p].spill.slots == 0)
+                continue;
+            regalloc::rebaseSpillSlots(prog.procs[p], prog.memWords);
+            prog.memWords += ctxs[p].spill.slots;
+        }
+    }
+    if (deadline_hit.load()) {
+        result.status = std::move(deadline_status);
+        return result;
+    }
+    if (config != SchedConfig::BB) {
+        result.stages.push_back({"form", form_ms});
+        timed.addSample("form.total", form_ms);
         base.addCounter("form" + cfg_dot + "tracesSelected",
                         result.form.tracesSelected);
         base.addCounter("form" + cfg_dot + "multiBlockTraces",
@@ -424,91 +830,119 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         base.addCounter("form" + cfg_dot + "unreachableRemoved",
                         result.form.unreachableRemoved);
     }
-
-    // --- 3. Compact: local opt + renaming + preschedule. ---
-    {
-        auto t = timed.time("compact.total");
-        sched::CompactOptions copts;
-        copts.priority = options.schedPriority;
-        const obs::Observer compact_obs = timed.withPrefix("compact.");
-        copts.observer = &compact_obs;
-        for (ir::ProcId p = 0; p < num_procs; ++p) {
-            if (deadlineUp("compact"))
-                return result;
-            copts.budget = budgetFor(p);
-            Status st = inject("compact", p);
-            if (st.ok())
-                st = sched::compactProcedure(prog, p, options.machine,
-                                             copts, result.compact);
-            if (!st.ok()) {
-                noteFailure(p, "compact", st);
-                rebuildAsBB(p, StageReached::Compact);
-            }
-        }
-        t.stop();
-        result.stages.push_back({"compact", t.elapsedMs()});
-        base.addCounter("compact" + cfg_dot + "copiesPropagated",
-                        result.compact.opt.copiesPropagated);
-        base.addCounter("compact" + cfg_dot + "deadRemoved",
-                        result.compact.opt.deadRemoved);
-        base.addCounter("compact" + cfg_dot + "defsRenamed",
-                        result.compact.rename.defsRenamed);
-        base.addCounter("compact" + cfg_dot + "stubsCreated",
-                        result.compact.rename.stubsCreated);
-        base.addCounter("compact" + cfg_dot + "loadsSpeculated",
-                        result.compact.sched.loadsSpeculated);
-    }
-
-    // --- 4. Register allocation and postschedule. ---
-    if (options.registerAllocate) {
-        {
-            auto t = timed.time("regalloc");
-            for (ir::ProcId p = 0; p < num_procs; ++p) {
-                if (deadlineUp("regalloc")) {
-                    t.stop();
-                    return result;
-                }
-                Status st = inject("regalloc", p);
-                if (st.ok())
-                    st = regalloc::allocateProcedure(
-                        prog, p, options.machine.numRegs, result.alloc,
-                        budgetFor(p));
-                if (!st.ok()) {
-                    noteFailure(p, "regalloc", st);
-                    rebuildAsBB(p, StageReached::Regalloc);
-                }
-            }
-            t.stop();
-            result.stages.push_back({"regalloc", t.elapsedMs()});
-        }
+    result.stages.push_back({"compact", compact_ms});
+    timed.addSample("compact.total", compact_ms);
+    base.addCounter("compact" + cfg_dot + "copiesPropagated",
+                    result.compact.opt.copiesPropagated);
+    base.addCounter("compact" + cfg_dot + "deadRemoved",
+                    result.compact.opt.deadRemoved);
+    base.addCounter("compact" + cfg_dot + "defsRenamed",
+                    result.compact.rename.defsRenamed);
+    base.addCounter("compact" + cfg_dot + "stubsCreated",
+                    result.compact.rename.stubsCreated);
+    base.addCounter("compact" + cfg_dot + "loadsSpeculated",
+                    result.compact.sched.loadsSpeculated);
+    if (opt.registerAllocate) {
+        result.stages.push_back({"regalloc", regalloc_ms});
+        timed.addSample("regalloc", regalloc_ms);
         base.addCounter("alloc" + cfg_dot + "regsSpilled",
                         result.alloc.regsSpilled);
         base.setGauge("alloc" + cfg_dot + "maxPressure",
                       result.alloc.maxPressure);
-        {
-            auto t = timed.time("postsched");
-            result.compact.sched = sched::ScheduleStats();
-            for (ir::ProcId p = 0; p < num_procs; ++p)
-                result.compact.sched += sched::scheduleProcedure(
-                    prog, p, options.machine, options.schedPriority);
-            t.stop();
-            result.stages.push_back({"postsched", t.elapsedMs()});
-        }
     }
 
-    // Post-transform IR verification, per procedure so one broken
-    // procedure quarantines instead of killing the run.
-    for (ir::ProcId p = 0; p < num_procs; ++p) {
+    // --- Phase B: postschedule -> per-procedure IR verification. ---
+    auto postschedTask = [&](ir::ProcId p) {
+        ProcCtx &ctx = ctxs[p];
+        MsAccum acc(ctx.postschedMs);
+        ctx.postsched += sched::scheduleProcedure(
+            prog, p, opt.machine, opt.schedPriority);
+    };
+    auto verifyTask = [&](ir::ProcId p) {
+        ProcCtx &ctx = ctxs[p];
         if (deadlineUp("verify"))
-            return result;
+            return;
         Status st = inject("verify", p);
         if (st.ok())
             st = ir::verifyProcStatus(prog, p,
                                       ir::VerifyMode::Superblock);
-        if (!st.ok()) {
-            noteFailure(p, "verify", st);
-            rebuildAsBB(p, StageReached::Postsched);
+        if (!st.ok())
+            ctx.verifyFailure = std::move(st);
+    };
+    {
+        TaskGraph graph;
+        std::vector<size_t> prev(num_procs, SIZE_MAX);
+        if (opt.registerAllocate) {
+            for (ir::ProcId p = 0; p < num_procs; ++p)
+                prev[p] = graph.add(
+                    [&postschedTask, p] { postschedTask(p); }, {},
+                    int(p));
         }
+        for (ir::ProcId p = 0; p < num_procs; ++p) {
+            const std::vector<size_t> deps =
+                prev[p] == SIZE_MAX ? std::vector<size_t>{}
+                                    : std::vector<size_t>{prev[p]};
+            graph.add([&verifyTask, p] { verifyTask(p); }, deps,
+                      int(p));
+        }
+        Executor ex(threads, opt.executor.policy);
+        ExecStats es = ex.run(graph);
+        result.exec.tasks += es.tasks;
+        result.exec.steals += es.steals;
+    }
+    if (opt.registerAllocate) {
+        // The postschedule replaces the preschedule's cycle counts.
+        result.compact.sched = sched::ScheduleStats();
+        double postsched_ms = 0;
+        for (size_t p = 0; p < num_procs; ++p) {
+            result.compact.sched += ctxs[p].postsched;
+            postsched_ms += ctxs[p].postschedMs;
+        }
+        result.stages.push_back({"postsched", postsched_ms});
+        timed.addSample("postsched", postsched_ms);
+    }
+    if (deadline_hit.load()) {
+        result.status = std::move(deadline_status);
+        return result;
+    }
+
+    // Serial-tail fallback: restore procedure p's original body and
+    // catch it up past postschedule.  Used by the verification,
+    // budget-attribution and output-compare recoveries below, all of
+    // which run after the parallel phases — spill slots append
+    // directly to the program's data memory here.
+    auto rebuildAsBB = [&](ir::ProcId p) {
+        auto t = timed.time("fallback");
+        prog.procs[p] = program.procs[p];
+        prog.procs[p].syncSideTables();
+        sched::CompactOptions fb_opts;
+        fb_opts.priority = opt.schedPriority;
+        sched::CompactStats fb_compact;
+        regalloc::AllocStats fb_alloc;
+        Status st = sched::compactProcedure(prog, p, opt.machine,
+                                            fb_opts, fb_compact);
+        if (st.ok() && opt.registerAllocate) {
+            st = regalloc::allocateProcedure(
+                prog, p, opt.machine.numRegs, fb_alloc);
+            if (st.ok())
+                sched::scheduleProcedure(prog, p, opt.machine,
+                                         opt.schedPriority);
+        }
+        if (st.ok())
+            st = ir::verifyProcStatus(prog, p,
+                                      ir::VerifyMode::Superblock);
+        if (!st.ok())
+            panic("BB fallback failed for proc %s: %s",
+                  program.procs[p].name.c_str(), st.toString().c_str());
+    };
+
+    // IR-verification fallbacks, procedure-id order (canonical).
+    for (ir::ProcId p = 0; p < num_procs; ++p) {
+        if (ctxs[p].verifyFailure.ok())
+            continue;
+        noteFailureTo(result.degraded, p, "verify",
+                      ctxs[p].verifyFailure);
+        rebuildAsBB(p);
     }
 
     // --- 5. Procedure placement and address assignment. ---
@@ -517,15 +951,15 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     layout::CodeLayout code_layout;
     auto runLayout = [&](const char *stage_name) {
         auto t = timed.time(stage_name);
-        if (options.pettisHansen) {
+        if (opt.pettisHansen) {
             analysis::CallGraph cg(prog);
             for (const auto &[edge, count] : train_run.callCounts)
                 cg.addWeight(edge.first, edge.second, count);
             code_layout = layout::layoutProgram(
-                prog, layout::pettisHansenOrder(cg), options.blockOrder);
+                prog, layout::pettisHansenOrder(cg), opt.blockOrder);
         } else {
             code_layout =
-                layout::layoutProgram(prog, {}, options.blockOrder);
+                layout::layoutProgram(prog, {}, opt.blockOrder);
         }
         t.stop();
         result.stages.push_back({stage_name, t.elapsedMs()});
@@ -536,19 +970,19 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     runLayout("layout");
 
     // --- 6. Measured test run of the transformed program (the I-cache
-    //        simulation when options.useICache is set).  Re-runnable,
-    //        with a fresh I-cache per attempt so a retry never sees the
+    //        simulation when opt.useICache is set).  Re-runnable, with
+    //        a fresh I-cache per attempt so a retry never sees the
     //        first attempt's cache contents. ---
     auto runTest = [&](const char *stage_name) {
         auto t = timed.time(stage_name);
         interp::InterpOptions iopts;
-        iopts.maxSteps = options.maxSteps;
+        iopts.maxSteps = opt.maxSteps;
         iopts.budgetSteps = bud.interpSteps;
         iopts.deadline = bud.deadline;
         iopts.codeLayout = &code_layout;
-        icache::ICache cache(options.cacheParams);
-        if (options.useICache)
-            iopts.cache = &cache;
+        icache::ICache icache_sim(opt.cacheParams);
+        if (opt.useICache)
+            iopts.cache = &icache_sim;
         interp::Interpreter interp(prog, iopts);
         interp::StatsListener istats(base.stats,
                                      "interp" + cfg_dot + "test");
@@ -567,7 +1001,7 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     {
         auto t = timed.time("verify");
         interp::InterpOptions iopts;
-        iopts.maxSteps = options.maxSteps;
+        iopts.maxSteps = opt.maxSteps;
         iopts.budgetSteps = bud.interpSteps;
         iopts.deadline = bud.deadline;
         interp::Interpreter interp(program, iopts);
@@ -581,7 +1015,7 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         result.status = Status::error(
             ErrorKind::StepLimit,
             strfmt("reference test run exceeded %llu steps",
-                   (unsigned long long)options.maxSteps));
+                   (unsigned long long)opt.maxSteps));
         return result;
     }
     if (ref.budgetStop) {
@@ -626,14 +1060,15 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                        result.degraded.size()));
             return result;
         }
-        noteFailure(sp, "interp",
-                    Status::error(
-                        ErrorKind::BudgetExceeded,
-                        strfmt("test run exceeded the %llu-step budget "
-                               "in proc %s",
-                               (unsigned long long)bud.interpSteps,
-                               program.procs[sp].name.c_str())));
-        rebuildAsBB(sp, StageReached::Postsched);
+        noteFailureTo(
+            result.degraded, sp, "interp",
+            Status::error(
+                ErrorKind::BudgetExceeded,
+                strfmt("test run exceeded the %llu-step budget "
+                       "in proc %s",
+                       (unsigned long long)bud.interpSteps,
+                       program.procs[sp].name.c_str())));
+        rebuildAsBB(sp);
         runLayout("layout-retry");
         runTest("test-retry");
     }
@@ -664,7 +1099,7 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                              : ErrorKind::OutputMismatch,
                 step_limited
                     ? strfmt("test run exceeded %llu steps",
-                             (unsigned long long)options.maxSteps)
+                             (unsigned long long)opt.maxSteps)
                     : strfmt("%zu vs %zu output values, "
                              "return %lld vs %lld",
                              ref.output.size(),
@@ -685,8 +1120,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                       (long long)ref.returnValue,
                       (long long)result.test.returnValue);
         for (const auto &[p, st] : suspects) {
-            noteFailure(p, "output-compare", st);
-            rebuildAsBB(p, StageReached::Postsched);
+            noteFailureTo(result.degraded, p, "output-compare", st);
+            rebuildAsBB(p);
         }
         // Hyphenated names: "layout.retry" would nest under the
         // "layout" leaf in the stats registry, which forbids that.
@@ -719,7 +1154,7 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     base.addCounter("test" + cfg_dot + "instrs", result.test.dynInstrs);
     base.addCounter("test" + cfg_dot + "branches",
                     result.test.dynBranches);
-    if (options.useICache) {
+    if (opt.useICache) {
         base.addCounter("test" + cfg_dot + "icacheAccesses",
                         result.test.icacheAccesses);
         base.addCounter("test" + cfg_dot + "icacheMisses",
@@ -728,7 +1163,7 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                         result.test.stallCycles);
     }
 
-    // --- 8. Robustness accounting. ---
+    // --- 8. Robustness and executor accounting. ---
     base.addCounter("robust" + cfg_dot + "degraded",
                     result.degraded.size());
     for (ErrorKind k : kAllErrorKinds) {
@@ -751,8 +1186,21 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                               "budget.deadlineRemainingMs",
                           double(bud.deadline.remainingMs()));
     }
+    // Executor stats vary with the thread count and policy (steals,
+    // cache warmth) — consumers comparing runs for determinism must
+    // ignore the "executor." subtree, and only it.
+    base.addCounter("executor" + cfg_dot + "tasks", result.exec.tasks);
+    base.addCounter("executor" + cfg_dot + "steals",
+                    result.exec.steals);
+    base.setGauge("executor" + cfg_dot + "threads", double(threads));
+    if (cache != nullptr) {
+        base.addCounter("executor" + cfg_dot + "cacheHits",
+                        result.exec.cacheHits);
+        base.addCounter("executor" + cfg_dot + "cacheMisses",
+                        result.exec.cacheMisses);
+    }
 
-    if (options.keepTransformed)
+    if (opt.keepTransformed)
         result.transformed =
             std::make_shared<ir::Program>(std::move(prog));
 

@@ -136,6 +136,19 @@ resultToJson(obs::JsonWriter &w, const std::string &workload,
     w.member("maxPressure", uint64_t(r.alloc.maxPressure));
     w.endObject();
 
+    w.key("executor");
+    w.beginObject();
+    w.member("threads", uint64_t(r.exec.threads));
+    w.member("policy", execPolicyName(r.exec.policy));
+    w.member("tasks", r.exec.tasks);
+    w.member("steals", r.exec.steals);
+    w.member("cacheEnabled", r.exec.cacheEnabled);
+    if (r.exec.cacheEnabled) {
+        w.member("cacheHits", r.exec.cacheHits);
+        w.member("cacheMisses", r.exec.cacheMisses);
+    }
+    w.endObject();
+
     w.key("stages");
     w.beginArray();
     for (const auto &s : r.stages) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/liveness.hpp"
+#include "pipeline/stages.hpp"
 #include "support/logging.hpp"
 #include "support/strutil.hpp"
 
@@ -167,7 +168,8 @@ allocateProc(ir::Procedure &proc, uint32_t num_phys, AllocStats &stats)
  */
 bool
 spillLongestIntervals(ir::Program &prog, ir::Procedure &proc,
-                      size_t how_many, AllocStats &stats)
+                      size_t how_many, AllocStats &stats,
+                      SpillPlan *plan)
 {
     std::vector<Interval> ivs = buildIntervals(proc);
     std::vector<const Interval *> candidates;
@@ -191,10 +193,14 @@ spillLongestIntervals(ir::Program &prog, ir::Procedure &proc,
     if (candidates.empty())
         return false; // nothing spillable (point lifetimes only)
 
-    // One fresh word of program memory per spilled register.
+    // One fresh word of program memory per spilled register — issued
+    // locally (sentinel-relative, rebased at the executor's join) when
+    // a plan is present, directly out of memWords otherwise.
     std::vector<int64_t> slot_of(proc.numRegs, -1);
     for (const Interval *iv : candidates) {
-        slot_of[iv->vreg] = int64_t(prog.memWords++);
+        slot_of[iv->vreg] = plan != nullptr
+                                ? kSpillSlotBase + int64_t(plan->slots++)
+                                : int64_t(prog.memWords++);
         ++stats.regsSpilled;
     }
     auto spilled = [&](RegId r) {
@@ -264,7 +270,8 @@ spillLongestIntervals(ir::Program &prog, ir::Procedure &proc,
     return true;
 }
 
-/** Procedures that can reach themselves through the call graph. */
+} // namespace
+
 std::vector<uint8_t>
 findRecursiveProcs(const ir::Program &prog)
 {
@@ -299,12 +306,22 @@ findRecursiveProcs(const ir::Program &prog)
     return recursive;
 }
 
-} // namespace
+void
+rebaseSpillSlots(ir::Procedure &proc, uint64_t base)
+{
+    for (auto &bb : proc.blocks) {
+        for (auto &ins : bb.instrs) {
+            if ((ins.isLoad() || ins.isStore()) &&
+                ins.imm >= kSpillSlotBase)
+                ins.imm = int64_t(base) + (ins.imm - kSpillSlotBase);
+        }
+    }
+}
 
 Status
 allocateProcedure(ir::Program &prog, ir::ProcId proc_id,
                   uint32_t num_phys_regs, AllocStats &stats,
-                  const ResourceBudget *budget)
+                  const AllocOptions &options)
 {
     ps_assert_msg(proc_id < prog.procs.size(),
                   "allocateProcedure: procedure %u out of range",
@@ -317,10 +334,17 @@ allocateProcedure(ir::Program &prog, ir::ProcId proc_id,
                    "registers (%u)",
                    proc.name.c_str(), proc.numParams, num_phys_regs));
     }
-    // Recursion is a whole-program property; recompute it here so the
-    // per-procedure path matches allocateProgram exactly (spilling
-    // never adds calls, so the answer is stable across procedures).
-    const std::vector<uint8_t> recursive = findRecursiveProcs(prog);
+    // Recursion is a whole-program property; recompute it here unless
+    // the caller shares a precomputed copy (spilling never adds calls,
+    // so the answer is stable across procedures and the per-procedure
+    // path matches allocateProgram exactly either way).
+    const std::vector<uint8_t> recursive_local =
+        options.recursive != nullptr ? std::vector<uint8_t>()
+                                     : findRecursiveProcs(prog);
+    const std::vector<uint8_t> &recursive =
+        options.recursive != nullptr ? *options.recursive
+                                     : recursive_local;
+    const ResourceBudget *budget = options.budget;
 
     // Each allocate-or-spill round rescans the whole procedure, so it
     // is charged one unit per instruction against regallocOps.
@@ -343,7 +367,8 @@ allocateProcedure(ir::Program &prog, ir::ProcId proc_id,
             break;
         }
         // Spill a small batch of the worst offenders and retry.
-        if (!spillLongestIntervals(prog, proc, 16, stats))
+        if (!spillLongestIntervals(prog, proc, 16, stats,
+                                   options.spill))
             break; // nothing left to spill
     }
     if (!done) {
@@ -356,16 +381,25 @@ allocateProcedure(ir::Program &prog, ir::ProcId proc_id,
     return Status();
 }
 
+Status
+allocateProcedure(ir::Program &prog, ir::ProcId proc_id,
+                  uint32_t num_phys_regs, AllocStats &stats,
+                  const ResourceBudget *budget)
+{
+    AllocOptions options;
+    options.budget = budget;
+    return allocateProcedure(prog, proc_id, num_phys_regs, stats,
+                             options);
+}
+
 AllocStats
 allocateProgram(ir::Program &prog, uint32_t num_phys_regs)
 {
     AllocStats stats;
-    for (ir::ProcId p = 0; p < prog.procs.size(); ++p) {
-        Status st = allocateProcedure(prog, p, num_phys_regs, stats);
-        if (!st.ok())
-            panic("register allocation failed for proc %s: %s",
-                  prog.procs[p].name.c_str(), st.toString().c_str());
-    }
+    pipeline::forEachProcOrDie(
+        prog, "register allocation", [&](ir::ProcId p) {
+            return allocateProcedure(prog, p, num_phys_regs, stats);
+        });
     return stats;
 }
 

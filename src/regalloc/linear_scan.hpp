@@ -17,6 +17,7 @@
 #define PATHSCHED_REGALLOC_LINEAR_SCAN_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "ir/procedure.hpp"
 #include "support/budget.hpp"
@@ -31,21 +32,110 @@ struct AllocStats
     uint64_t procsSkipped = 0;
     uint64_t regsSpilled = 0; ///< live ranges demoted to memory slots
     uint32_t maxPressure = 0; ///< peak simultaneously-live registers
+
+    AllocStats &
+    operator+=(const AllocStats &o)
+    {
+        procsAllocated += o.procsAllocated;
+        procsSkipped += o.procsSkipped;
+        regsSpilled += o.regsSpilled;
+        maxPressure = maxPressure > o.maxPressure ? maxPressure
+                                                  : o.maxPressure;
+        return *this;
+    }
+};
+
+/**
+ * @name Procedure-local spill slots (executor mode)
+ *
+ * Historically every spill slot was carved directly out of
+ * Program::memWords, which made register allocation the one transform
+ * stage with cross-procedure shared state — unusable from concurrent
+ * per-procedure tasks, and address assignment would depend on
+ * completion order.  A SpillPlan removes that: slot addresses are
+ * issued *locally* per procedure (0, 1, 2, ... recorded only in the
+ * plan), emitted into the IR offset from the kSpillSlotBase sentinel —
+ * far above any real data address — and rebased onto final absolute
+ * addresses by rebaseSpillSlots() at a serial join point, in procedure
+ * id order.  A run that allocates procedures in id order therefore
+ * produces bit-identical addresses to the historical direct-append
+ * path.
+ * @{
+ */
+
+/** Spill-slot accounting for one procedure's allocation. */
+struct SpillPlan
+{
+    /** Local slots issued so far (== slots the final body references). */
+    uint64_t slots = 0;
+};
+
+/** Sentinel base for procedure-local slot ids inside Ld/St offsets.
+ *  Real data addresses are bounded by Program::memWords and never get
+ *  near it. */
+inline constexpr int64_t kSpillSlotBase = int64_t(1) << 40;
+
+/**
+ * Rewrite every sentinel-relative Ld/LdSpec/St offset of @p proc to an
+ * absolute slot address starting at @p base (local slot k becomes
+ * address base + k).  Must run before the procedure is interpreted or
+ * postscheduled.
+ */
+void rebaseSpillSlots(ir::Procedure &proc, uint64_t base);
+
+/** @} */
+
+/**
+ * Procedures of @p prog that can reach themselves through the call
+ * graph.  Static spill slots are unsound for them (multiple live
+ * activations would share the slots), so the allocator never spills
+ * recursive procedures.  Recursion is a whole-program property; the
+ * executor precomputes it once on the untransformed program and shares
+ * it read-only across workers via AllocOptions::recursive.
+ */
+std::vector<uint8_t> findRecursiveProcs(const ir::Program &prog);
+
+/** Knobs for allocateProcedure beyond the register count. */
+struct AllocOptions
+{
+    /** Resource governance (not owned, nullable); see the Status
+     *  contract on allocateProcedure. */
+    const ResourceBudget *budget = nullptr;
+    /**
+     * Precomputed findRecursiveProcs() result (not owned, nullable).
+     * Null recomputes it per call — correct but a whole-program scan,
+     * and a data race if other procedures are being rewritten
+     * concurrently; the executor always passes it.
+     */
+    const std::vector<uint8_t> *recursive = nullptr;
+    /**
+     * When non-null, spill slots are numbered locally into this plan
+     * (sentinel addressing, see SpillPlan) instead of being appended
+     * to Program::memWords.  Required for concurrent allocation.
+     */
+    SpillPlan *spill = nullptr;
 };
 
 /**
  * Allocate procedure @p proc of @p prog onto @p num_phys_regs
  * registers, rewriting register operands in place and accumulating
  * counters into @p stats — the recoverable per-procedure entry point
- * behind allocateProgram().  Spill slots are appended to @p prog's
- * data memory.  A procedure whose pressure cannot be reduced is *not*
- * an error (it stays on virtual registers and counts as skipped, as
- * documented above); a non-OK return means the procedure cannot be
- * allocated at all (more parameters than machine registers), or — when
- * @p budget is non-null — that budget->regallocOps (charged one unit
- * per instruction per allocation round) or budget->deadline ran out
- * mid-allocation, leaving the procedure partially spilled.
+ * behind allocateProgram(), and the form the pipeline executor calls.
+ * Spill slots are appended to @p prog's data memory (or issued locally
+ * per AllocOptions::spill).  A procedure whose pressure cannot be
+ * reduced is *not* an error (it stays on virtual registers and counts
+ * as skipped, as documented above); a non-OK return means the
+ * procedure cannot be allocated at all (more parameters than machine
+ * registers), or — when a budget is set — that budget->regallocOps
+ * (charged one unit per instruction per allocation round) or
+ * budget->deadline ran out mid-allocation, leaving the procedure
+ * partially spilled.
  */
+Status allocateProcedure(ir::Program &prog, ir::ProcId proc,
+                         uint32_t num_phys_regs, AllocStats &stats,
+                         const AllocOptions &options);
+
+/** Back-compat overload: budget only, direct memWords spill slots. */
 Status allocateProcedure(ir::Program &prog, ir::ProcId proc,
                          uint32_t num_phys_regs, AllocStats &stats,
                          const ResourceBudget *budget = nullptr);

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "analysis/liveness.hpp"
+#include "pipeline/stages.hpp"
 #include "support/strutil.hpp"
 
 namespace pathsched::sched {
@@ -108,12 +109,9 @@ compactProgram(ir::Program &prog, const machine::MachineModel &mm,
                const CompactOptions &options)
 {
     CompactStats stats;
-    for (ir::ProcId p = 0; p < prog.procs.size(); ++p) {
-        Status st = compactProcedure(prog, p, mm, options, stats);
-        if (!st.ok())
-            panic("compaction failed for proc %s: %s",
-                  prog.procs[p].name.c_str(), st.toString().c_str());
-    }
+    pipeline::forEachProcOrDie(prog, "compaction", [&](ir::ProcId p) {
+        return compactProcedure(prog, p, mm, options, stats);
+    });
     return stats;
 }
 

@@ -52,6 +52,15 @@ struct CompactStats
     LocalOptStats opt;
     RenameStats rename;
     ScheduleStats sched;
+
+    CompactStats &
+    operator+=(const CompactStats &o)
+    {
+        opt += o.opt;
+        rename += o.rename;
+        sched += o.sched;
+        return *this;
+    }
 };
 
 /**

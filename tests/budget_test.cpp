@@ -248,8 +248,8 @@ TEST_P(StageBudgetMatrix, WcP4DegradesExactlyTheExhaustedProcedure)
     obs::Observer observer;
     observer.stats = &registry;
     PipelineOptions opts;
-    opts.observer = &observer;
-    opts.budget = c.budget;
+    opts.observability.observer = &observer;
+    opts.robustness.budget = c.budget;
 
     const PipelineResult r = runWc(SchedConfig::P4, opts);
     EXPECT_TRUE(r.status.ok()) << r.status.toString();
@@ -290,7 +290,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(PipelineBudget, ExpiredDeadlineReturnsTypedStatus)
 {
     PipelineOptions opts;
-    opts.budget.deadline = Deadline::afterMs(0);
+    opts.robustness.budget.deadline = Deadline::afterMs(0);
     const PipelineResult r = runWc(SchedConfig::P4, opts);
     ASSERT_FALSE(r.status.ok());
     EXPECT_EQ(r.status.kind(), ErrorKind::DeadlineExceeded);
@@ -301,7 +301,7 @@ TEST(PipelineBudget, TinyStepBudgetReturnsTypedStatusNotPanic)
     // Far below even the training run: the pipeline must report a
     // typed BudgetExceeded, never abort.
     PipelineOptions opts;
-    opts.budget.interpSteps = 100;
+    opts.robustness.budget.interpSteps = 100;
     const PipelineResult r = runWc(SchedConfig::P4, opts);
     ASSERT_FALSE(r.status.ok());
     EXPECT_EQ(r.status.kind(), ErrorKind::BudgetExceeded);
@@ -329,7 +329,7 @@ TEST(PipelineBudget, TestRunBudgetDegradesTheStoppedProcedure)
         GTEST_SKIP() << "transformed run not longer than the original "
                         "(nothing to attribute)";
 
-    opts.budget.interpSteps = (orig_steps + transformed_steps) / 2;
+    opts.robustness.budget.interpSteps = (orig_steps + transformed_steps) / 2;
     const PipelineResult r = pipeline::runPipeline(
         prog, train, test, SchedConfig::P4, opts);
     EXPECT_TRUE(r.status.ok()) << r.status.toString();
@@ -338,7 +338,7 @@ TEST(PipelineBudget, TestRunBudgetDegradesTheStoppedProcedure)
     EXPECT_EQ(r.degraded[0].stage, "interp");
     EXPECT_EQ(r.degraded[0].kind, ErrorKind::BudgetExceeded);
     EXPECT_EQ(r.degraded[0].procName, "main");
-    EXPECT_LE(r.test.dynInstrs, opts.budget.interpSteps);
+    EXPECT_LE(r.test.dynInstrs, opts.robustness.budget.interpSteps);
 }
 
 TEST(PipelineBudget, UnbudgetedRunIsUnchanged)
@@ -350,11 +350,11 @@ TEST(PipelineBudget, UnbudgetedRunIsUnchanged)
 
     // A generous budget must not change any measurement either.
     PipelineOptions opts;
-    opts.budget.deadline = Deadline::afterMs(600'000);
-    opts.budget.formGrowthOps = 1'000'000'000;
-    opts.budget.compactOps = 1'000'000'000;
-    opts.budget.regallocOps = 1'000'000'000;
-    opts.budget.interpSteps = 1'000'000'000;
+    opts.robustness.budget.deadline = Deadline::afterMs(600'000);
+    opts.robustness.budget.formGrowthOps = 1'000'000'000;
+    opts.robustness.budget.compactOps = 1'000'000'000;
+    opts.robustness.budget.regallocOps = 1'000'000'000;
+    opts.robustness.budget.interpSteps = 1'000'000'000;
     const PipelineResult governed = runWc(SchedConfig::P4, opts);
     ASSERT_TRUE(governed.status.ok());
     EXPECT_TRUE(governed.budgeted);
@@ -373,7 +373,7 @@ TEST(PipelineBudget, ReportBudgetBlockIsGatedOnGovernance)
     EXPECT_EQ(without.find("\"budget\""), std::string::npos);
 
     PipelineOptions opts;
-    opts.budget.formGrowthOps = 1;
+    opts.robustness.budget.formGrowthOps = 1;
     PipelineResult governed = runWc(SchedConfig::P4, opts);
     ASSERT_TRUE(governed.status.ok());
     const size_t exhausted = governed.budgetDegradations();

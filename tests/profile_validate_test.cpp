@@ -367,7 +367,7 @@ TEST(Cascade, CorruptProcDegradesAloneAndOthersAreBitIdentical)
     // A clean external profile (identical to the training profile)
     // admits fully and changes nothing.
     PipelineOptions clean = base;
-    clean.pathProfileText = clean_text;
+    clean.profileInput.pathText = clean_text;
     const PipelineResult r1 = runPipeline(w.program, w.train, w.test,
                                           SchedConfig::P4, clean);
     ASSERT_TRUE(r1.status.ok());
@@ -382,8 +382,8 @@ TEST(Cascade, CorruptProcDegradesAloneAndOthersAreBitIdentical)
     obs::Observer obs;
     obs.stats = &stats;
     PipelineOptions corrupt = clean;
-    corrupt.pathProfileText = corrupt_text;
-    corrupt.observer = &obs;
+    corrupt.profileInput.pathText = corrupt_text;
+    corrupt.observability.observer = &obs;
     const PipelineResult r2 = runPipeline(w.program, w.train, w.test,
                                           SchedConfig::P4, corrupt);
     ASSERT_TRUE(r2.status.ok());
@@ -408,16 +408,16 @@ TEST(Cascade, CorruptProcDegradesAloneAndOthersAreBitIdentical)
 
     // Strict mode refuses the same file outright.
     PipelineOptions strict = corrupt;
-    strict.observer = nullptr;
-    strict.profileCheck = AdmissionMode::Strict;
+    strict.observability.observer = nullptr;
+    strict.profileInput.check = AdmissionMode::Strict;
     const PipelineResult r3 = runPipeline(w.program, w.train, w.test,
                                           SchedConfig::P4, strict);
     EXPECT_FALSE(r3.status.ok());
 
     // Off mode trusts the file after a plain parse: no audit runs.
     PipelineOptions off = corrupt;
-    off.observer = nullptr;
-    off.profileCheck = AdmissionMode::Off;
+    off.observability.observer = nullptr;
+    off.profileInput.check = AdmissionMode::Off;
     const PipelineResult r4 = runPipeline(w.program, w.train, w.test,
                                           SchedConfig::P4, off);
     ASSERT_TRUE(r4.status.ok());
@@ -434,7 +434,7 @@ TEST(Cascade, UnparseableFileFallsBackToTrainingProfile)
     ASSERT_TRUE(r0.status.ok());
 
     PipelineOptions bad = base;
-    bad.pathProfileText = "this is not a profile\n";
+    bad.profileInput.pathText = "this is not a profile\n";
     const PipelineResult r1 = runPipeline(w.program, w.train, w.test,
                                           SchedConfig::P4, bad);
     ASSERT_TRUE(r1.status.ok());
@@ -446,7 +446,7 @@ TEST(Cascade, UnparseableFileFallsBackToTrainingProfile)
 
     // Strict mode turns the rejection into a failed run.
     PipelineOptions strict = bad;
-    strict.profileCheck = AdmissionMode::Strict;
+    strict.profileInput.check = AdmissionMode::Strict;
     const PipelineResult r2 = runPipeline(w.program, w.train, w.test,
                                           SchedConfig::P4, strict);
     EXPECT_FALSE(r2.status.ok());

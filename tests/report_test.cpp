@@ -49,8 +49,8 @@ class ReportRoundTrip : public ::testing::Test
 
         const auto w = workloads::makeByName("wc");
         pipeline::PipelineOptions opts;
-        opts.observer = &observer;
-        opts.interpStats = true;
+        opts.observability.observer = &observer;
+        opts.observability.interpStats = true;
         for (const SchedConfig c : kAllConfigs)
             runs_->push_back({"wc", pipeline::runPipeline(
                                         w.program, w.train, w.test, c,

@@ -178,8 +178,8 @@ TEST_P(InjectMatrix, WcP4CompletesWithExactlyOneDegradation)
     obs::Observer observer;
     observer.stats = &registry;
     PipelineOptions opts;
-    opts.faults = &inj;
-    opts.observer = &observer;
+    opts.robustness.faults = &inj;
+    opts.observability.observer = &observer;
 
     const PipelineResult r = runWc(SchedConfig::P4, opts);
     EXPECT_TRUE(r.status.ok()) << r.status.toString();
@@ -216,7 +216,7 @@ TEST(Robustness, InjectedKindIsRecordedVerbatim)
     ASSERT_TRUE(inj.parse("stage=compact,count=1,kind=schedule", err))
         << err;
     PipelineOptions opts;
-    opts.faults = &inj;
+    opts.robustness.faults = &inj;
     const PipelineResult r = runWc(SchedConfig::P4, opts);
     EXPECT_TRUE(r.outputMatches);
     ASSERT_EQ(r.degraded.size(), 1u);
@@ -233,7 +233,7 @@ TEST(Robustness, ArmedButNonMatchingInjectorChangesNothing)
     std::string err;
     ASSERT_TRUE(inj.parse("stage=form,proc=1000000", err)) << err;
     PipelineOptions opts;
-    opts.faults = &inj;
+    opts.robustness.faults = &inj;
     const PipelineResult armed = runWc(SchedConfig::P4, opts);
 
     EXPECT_EQ(inj.totalFired(), 0u);
@@ -251,7 +251,7 @@ TEST(Robustness, FullDegradationFallsBackToBBNumbers)
     std::string err;
     ASSERT_TRUE(inj.parse("stage=form", err)) << err; // every proc
     PipelineOptions opts;
-    opts.faults = &inj;
+    opts.robustness.faults = &inj;
     const PipelineResult r = runWc(SchedConfig::P4, opts);
 
     EXPECT_TRUE(r.status.ok());
@@ -281,7 +281,7 @@ TEST(Robustness, DegradationsAppearInJsonReport)
     std::string err;
     ASSERT_TRUE(inj.parse("stage=regalloc,count=1", err)) << err;
     PipelineOptions opts;
-    opts.faults = &inj;
+    opts.robustness.faults = &inj;
     PipelineResult r = runWc(SchedConfig::P4, opts);
     ASSERT_EQ(r.degraded.size(), 1u);
 

@@ -28,6 +28,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -72,6 +73,13 @@ usage()
         "                          completed (ok or degraded)\n"
         "  --outdir DIR            write each task's JSON report to\n"
         "                          DIR/<workload>_<config>.json\n"
+        "  --threads N             forward --threads N to every child\n"
+        "                          (per-child worker threads)\n"
+        "  --exec-policy P         forward --exec-policy P (static,\n"
+        "                          dynamic or steal)\n"
+        "  --cache-dir DIR         forward --cache-dir DIR so all\n"
+        "                          children share one on-disk stage\n"
+        "                          cache\n"
         "  everything after '--' is passed through to pathsched_cli\n"
         "\n"
         "exit codes: 0 all ok; 1 user error; 2 completed with\n"
@@ -308,6 +316,60 @@ completedInJournal(const std::string &path, size_t &corrupt_lines)
     return completed;
 }
 
+/** Per-task executor accounting pulled from the child's JSON report. */
+struct ExecSummary
+{
+    bool present = false;
+    uint64_t threads = 0;    ///< max across the task's runs
+    uint64_t tasks = 0;      ///< summed across the task's runs
+    uint64_t steals = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+};
+
+/**
+ * Sum the "executor" blocks of every run in the child's report file.
+ * Best-effort: a missing or old-schema report just leaves the summary
+ * absent — the journal line then simply has no executor member.
+ */
+ExecSummary
+readExecSummary(const std::string &report_path)
+{
+    ExecSummary s;
+    std::ifstream in(report_path, std::ios::binary);
+    if (!in)
+        return s;
+    std::string doc((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    const std::string needle = "\"executor\":"; // value may be spaced
+    for (size_t pos = doc.find(needle); pos != std::string::npos;
+         pos = doc.find(needle, pos + 1)) {
+        const size_t open = doc.find('{', pos + needle.size());
+        if (open == std::string::npos)
+            break;
+        const size_t close = doc.find('}', open);
+        if (close == std::string::npos)
+            break;
+        const std::string block = doc.substr(open, close - open + 1);
+        // The stat registry's "executor" subtree also matches the
+        // needle; only the per-run block carries a "policy" member.
+        if (block.find("\"policy\"") == std::string::npos)
+            continue;
+        std::string v;
+        auto num = [&](const char *key) -> uint64_t {
+            // stoull skips the pretty-printer's leading space.
+            return jsonField(block, key, v) ? std::stoull(v) : 0;
+        };
+        s.present = true;
+        s.threads = std::max(s.threads, num("threads"));
+        s.tasks += num("tasks");
+        s.steals += num("steals");
+        s.cacheHits += num("cacheHits");
+        s.cacheMisses += num("cacheMisses");
+    }
+    return s;
+}
+
 /** Directory of argv[0], for the default --cli path. */
 std::string
 siblingCli(const char *argv0)
@@ -374,6 +436,9 @@ main(int argc, char **argv)
     int retries = 0;
     uint64_t backoff_ms = 100;
     bool resume = false;
+    std::string threads_arg;
+    std::string exec_policy_arg;
+    std::string cache_dir_arg;
     std::vector<std::string> passthrough;
 
     for (int i = 1; i < argc; ++i) {
@@ -405,6 +470,12 @@ main(int argc, char **argv)
             resume = true;
         } else if (arg == "--outdir") {
             outdir = next();
+        } else if (arg == "--threads") {
+            threads_arg = next();
+        } else if (arg == "--exec-policy") {
+            exec_policy_arg = next();
+        } else if (arg == "--cache-dir") {
+            cache_dir_arg = next();
         } else if (arg == "--") {
             for (++i; i < argc; ++i)
                 passthrough.push_back(argv[i]);
@@ -433,6 +504,22 @@ main(int argc, char **argv)
         errno != EEXIST)
         fatal("cannot create --outdir '%s': %s", outdir.c_str(),
               std::strerror(errno));
+
+    // Executor flags forward to every child; pathsched_cli itself
+    // creates --cache-dir, so the children race only on entry files,
+    // which the cache's temp-file/rename protocol already handles.
+    if (!threads_arg.empty()) {
+        passthrough.push_back("--threads");
+        passthrough.push_back(threads_arg);
+    }
+    if (!exec_policy_arg.empty()) {
+        passthrough.push_back("--exec-policy");
+        passthrough.push_back(exec_policy_arg);
+    }
+    if (!cache_dir_arg.empty()) {
+        passthrough.push_back("--cache-dir");
+        passthrough.push_back(cache_dir_arg);
+    }
 
     std::vector<Task> tasks;
     for (const auto &w : workload_names)
@@ -554,13 +641,34 @@ main(int argc, char **argv)
             } else {
                 outcome = "crashed"; // killed by a signal, not by us
             }
+            // Executor accounting rides along on the done event when
+            // the child wrote a report (--outdir): threads, task and
+            // steal counts, and stage-cache traffic per batch task.
+            std::string exec_json;
+            if (!outdir.empty() &&
+                (outcome == "ok" || outcome == "degraded")) {
+                const ExecSummary es = readExecSummary(
+                    outdir + "/" + t.workload + "_" + t.config +
+                    ".json");
+                if (es.present)
+                    exec_json = strfmt(
+                        ",\"executor\":{\"threads\":%llu,"
+                        "\"tasks\":%llu,\"steals\":%llu,"
+                        "\"cacheHits\":%llu,\"cacheMisses\":%llu}",
+                        (unsigned long long)es.threads,
+                        (unsigned long long)es.tasks,
+                        (unsigned long long)es.steals,
+                        (unsigned long long)es.cacheHits,
+                        (unsigned long long)es.cacheMisses);
+            }
             journal.line(strfmt(
                 "{\"event\":\"done\",\"task\":\"%s\",\"attempt\":%d,"
                 "\"outcome\":\"%s\",\"exit\":%d,\"ms\":%.1f,"
-                "\"ts\":%llu}",
+                "\"ts\":%llu%s}",
                 jsonEscape(t.name()).c_str(), t.attempts,
                 outcome.c_str(), exit_code, ms,
-                (unsigned long long)epochSeconds()));
+                (unsigned long long)epochSeconds(),
+                exec_json.c_str()));
 
             const bool success =
                 outcome == "ok" || outcome == "degraded";

@@ -22,8 +22,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@
 #include "machine/machine.hpp"
 #include "obs/stats.hpp"
 #include "obs/timer.hpp"
+#include "pipeline/cache.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
 #include "profile/serialize.hpp"
@@ -107,6 +110,16 @@ usage()
         "  --step-budget N         interpreter step budget per run;\n"
         "                          a test run over it degrades the\n"
         "                          procedure it stopped in\n"
+        "  --threads N             worker threads for the per-procedure\n"
+        "                          stage tasks (default 1 = serial;\n"
+        "                          0 = hardware concurrency).  Results\n"
+        "                          are identical for every N\n"
+        "  --exec-policy P         ready-task policy with --threads > 1:\n"
+        "                          static, dynamic or steal (default)\n"
+        "  --cache-dir DIR         persist the memoized stage cache in\n"
+        "                          DIR (created if missing); repeat\n"
+        "                          runs skip unchanged procedures'\n"
+        "                          transform chains\n"
         "  --list                  list workloads and exit\n"
         "\n"
         "exit codes: 0 success; 1 user error (including an exhausted\n"
@@ -269,6 +282,7 @@ main(int argc, char **argv)
     uint64_t inject_seed = 0;
     uint64_t deadline_ms = 0;
     bool want_stats = false;
+    std::string cache_dir;
     pipeline::PipelineOptions opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -327,7 +341,7 @@ main(int argc, char **argv)
                                       ? next()
                                       : arg.substr(std::strlen(
                                             "--profile-check="));
-            if (!profile::parseAdmissionMode(v, opts.profileCheck))
+            if (!profile::parseAdmissionMode(v, opts.profileInput.check))
                 fatal("unknown --profile-check mode '%s' (want "
                       "strict, repair or off)",
                       v.c_str());
@@ -346,13 +360,23 @@ main(int argc, char **argv)
         } else if (arg == "--deadline-ms") {
             deadline_ms = std::stoull(next());
         } else if (arg == "--growth-budget") {
-            opts.budget.formGrowthOps = std::stoull(next());
+            opts.robustness.budget.formGrowthOps = std::stoull(next());
         } else if (arg == "--compact-budget") {
-            opts.budget.compactOps = std::stoull(next());
+            opts.robustness.budget.compactOps = std::stoull(next());
         } else if (arg == "--regalloc-budget") {
-            opts.budget.regallocOps = std::stoull(next());
+            opts.robustness.budget.regallocOps = std::stoull(next());
         } else if (arg == "--step-budget") {
-            opts.budget.interpSteps = std::stoull(next());
+            opts.robustness.budget.interpSteps = std::stoull(next());
+        } else if (arg == "--threads") {
+            opts.executor.threads = unsigned(std::stoul(next()));
+        } else if (arg == "--exec-policy") {
+            const std::string v = next();
+            if (!pipeline::parseExecPolicy(v, opts.executor.policy))
+                fatal("unknown --exec-policy '%s' (want static, "
+                      "dynamic or steal)",
+                      v.c_str());
+        } else if (arg == "--cache-dir") {
+            cache_dir = next();
         } else if (arg == "--list") {
             for (const auto &n : workloads::benchmarkNames())
                 std::printf("%s\n", n.c_str());
@@ -374,9 +398,9 @@ main(int argc, char **argv)
     }
 
     if (!load_edges.empty())
-        opts.edgeProfileText = readFile(load_edges);
+        opts.profileInput.edgeText = readFile(load_edges);
     if (!load_paths.empty())
-        opts.pathProfileText = readFile(load_paths);
+        opts.profileInput.pathText = readFile(load_paths);
 
     if (validate_profile) {
         if (load_edges.empty() && load_paths.empty())
@@ -387,8 +411,9 @@ main(int argc, char **argv)
             const auto w = workloads::makeByName(name);
             exit_code = std::max(
                 exit_code,
-                validateAgainst(w, name, opts.edgeProfileText,
-                                opts.pathProfileText, opts.pathParams));
+                validateAgainst(w, name, opts.profileInput.edgeText,
+                                opts.profileInput.pathText,
+                                opts.pathParams));
         }
         return exit_code;
     }
@@ -416,7 +441,21 @@ main(int argc, char **argv)
                   err.c_str());
     }
     if (!injector.empty())
-        opts.faults = &injector;
+        opts.robustness.faults = &injector;
+
+    // The stage cache outlives the runs so `--config all` sweeps (and
+    // the in-memory tier generally) share one cache; --cache-dir adds
+    // the cross-process disk tier.
+    std::unique_ptr<pipeline::StageCache> cache;
+    if (!cache_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cache_dir, ec);
+        if (ec)
+            fatal("cannot create --cache-dir '%s': %s",
+                  cache_dir.c_str(), ec.message().c_str());
+        cache = std::make_unique<pipeline::StageCache>(cache_dir);
+        opts.executor.cache = cache.get();
+    }
 
     // Observability sinks: the registry feeds --json and --stats, the
     // stage trace feeds --trace.  Null sinks disable collection.
@@ -430,8 +469,8 @@ main(int argc, char **argv)
     if (!trace_file.empty())
         observer.trace = &trace;
     if (observer.stats != nullptr || observer.trace != nullptr)
-        opts.observer = &observer;
-    opts.interpStats = want_stats;
+        opts.observability.observer = &observer;
+    opts.observability.interpStats = want_stats;
 
     std::vector<pipeline::ReportRun> report_runs;
     bool any_degraded = false;
@@ -451,7 +490,8 @@ main(int argc, char **argv)
             // The wall budget is per pipeline run, so the clock starts
             // fresh here rather than at option parsing.
             if (deadline_ms != 0)
-                opts.budget.deadline = Deadline::afterMs(deadline_ms);
+                opts.robustness.budget.deadline =
+                    Deadline::afterMs(deadline_ms);
             auto run_timer = observer.time("run." + name + "." +
                                            pipeline::configName(c));
             auto r = pipeline::runPipeline(w.program, w.train, w.test, c,
