@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Aggregation-server robustness benchmark: a simulated noisy fleet
+ * driven through the transport-free ServeCore, written to
+ * BENCH_serve.json.
+ *
+ * The fleet misbehaves the way real profile shippers do:
+ *
+ *  - duplicate uploads (blind resends after reconnects),
+ *  - reconnect storms (fresh connection + Hello per delta for some
+ *    clients),
+ *  - stale CFGs (a flipped fingerprint digit in the v2 header),
+ *  - garbage payloads (not a profile at all),
+ *  - torn frames (the byte stream is cut mid-frame; the socket-layer
+ *    FrameDecoder must surface only intact frames and flag the tear),
+ *  - one spammy client that exceeds its per-epoch token budget.
+ *
+ * Mid-stream the profile distribution shifts (train -> test input), so
+ * the hot-path fingerprints move exactly once and the bench can report
+ * the reschedule ratio: runs over attempts, where every unmoved epoch
+ * is gated off and every unchanged procedure inside a run is a stage
+ * cache hit.
+ *
+ * The run ends with a simulated kill -9: the core is destroyed with no
+ * shutdown and a fresh one recovers from the WAL.  Recovery wall time
+ * and bit-identity of the recovered aggregate are part of the report —
+ * those are the numbers the durability design pays for.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "interp/interpreter.hpp"
+#include "profile/path_profile.hpp"
+#include "profile/serialize.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+using namespace pathsched;
+using namespace pathsched::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+std::string
+pathProfileText(const workloads::Workload &w,
+                const interp::ProgramInput &input)
+{
+    profile::PathProfiler pp(w.program, profile::PathProfileParams{});
+    interp::Interpreter interp(w.program);
+    interp.addListener(&pp);
+    interp.run(input);
+    return profile::toTextV2(pp, w.program);
+}
+
+/** Flip one fingerprint hex digit: a stale-CFG upload. */
+std::string
+staleVariant(std::string text)
+{
+    const size_t fp = text.find("fingerprint");
+    ps_assert(fp != std::string::npos);
+    const size_t digit = text.find_first_of("0123456789abcdef", fp + 12);
+    ps_assert(digit != std::string::npos);
+    text[digit] = text[digit] == '0' ? '1' : '0';
+    return text;
+}
+
+/**
+ * One client's view of the server: every message goes through a real
+ * frame encode, an optional mid-frame tear, and a FrameDecoder — the
+ * same trust boundary the socket layer enforces — before the payload
+ * reaches the core.
+ */
+struct SimClient
+{
+    std::string id;
+    uint64_t seq = 0;
+    uint64_t conn = 0;
+    bool reconnectStorm = false;
+
+    std::string
+    connKey() const
+    {
+        return id + "/conn-" + std::to_string(conn);
+    }
+};
+
+struct FleetCounters
+{
+    uint64_t framesSent = 0;
+    uint64_t tornFrames = 0;
+    uint64_t admitted = 0;
+    uint64_t duplicates = 0;
+    uint64_t throttled = 0;
+    uint64_t rejected = 0;
+    uint64_t quarantined = 0;
+    uint64_t errors = 0;
+    uint64_t reconnects = 0;
+};
+
+/** Deliver one payload through frame+decoder to the core; a torn
+ *  delivery never reaches the core and forces a reconnect+resend. */
+AckCode
+deliver(ServeCore &core, SimClient &c, const std::string &payload,
+        bool tear, FleetCounters &fc)
+{
+    for (;;) {
+        std::string stream;
+        appendFrame(stream, encodeHello(c.id));
+        appendFrame(stream, payload);
+        if (tear) {
+            // Cut mid-frame: the decoder must hold back the partial
+            // frame; the client times out and reconnects.
+            stream.resize(stream.size() - 1 - stream.size() % 7);
+            ++fc.tornFrames;
+        }
+        FrameDecoder dec;
+        dec.feed(stream.data(), stream.size());
+
+        AckCode last = AckCode::Error;
+        bool sawAck = false;
+        std::string frame;
+        bool drop = false;
+        while (dec.next(frame) == FrameDecoder::Result::Frame) {
+            ++fc.framesSent;
+            const auto resp = core.handleFrame(c.connKey(), frame, drop);
+            for (const auto &r : resp) {
+                Message m;
+                if (decodeMessage(r, m).ok() && m.type == MsgType::Ack) {
+                    last = m.ack;
+                    sawAck = true;
+                }
+            }
+        }
+        if (sawAck && !tear)
+            return last;
+        // Torn (or unacked) delivery: reconnect and blindly resend the
+        // complete stream — the seq cursor absorbs any duplicate.
+        core.dropConnection(c.connKey());
+        ++c.conn;
+        ++fc.reconnects;
+        tear = false;
+    }
+}
+
+void
+count(AckCode code, FleetCounters &fc)
+{
+    switch (code) {
+    case AckCode::Accepted: ++fc.admitted; break;
+    case AckCode::Duplicate: ++fc.duplicates; break;
+    case AckCode::Throttled: ++fc.throttled; break;
+    case AckCode::Quarantined: ++fc.quarantined; break;
+    case AckCode::Rejected: ++fc.rejected; break;
+    case AckCode::Error: ++fc.errors; break;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto w = workloads::makeByName("wc");
+    const std::string trainText = pathProfileText(w, w.train);
+    const std::string testText = pathProfileText(w, w.test);
+    const std::string staleText = staleVariant(trainText);
+
+    const std::string stateDir =
+        "/tmp/pathsched_bench_serve_" + std::to_string(::getpid());
+
+    ServeOptions opts;
+    opts.aggregate.maxKeysPerBucket = 4096; // bounded-memory cap
+    opts.admission.tokensPerEpoch = 6;      // the spammer will hit this
+    opts.admission.maxTokens = 8;
+    opts.snapshotEvery = 64;
+
+    auto core = std::make_unique<ServeCore>(w, opts, stateDir);
+    if (Status st = core->init(); !st.ok())
+        panic("serve init failed: %s", st.toString().c_str());
+
+    // A fleet of 6: four honest shards, one stale/garbage shipper,
+    // one spammer in a reconnect storm.
+    std::vector<SimClient> fleet;
+    for (int i = 0; i < 4; ++i)
+        fleet.push_back({"shard-" + std::to_string(i)});
+    fleet.push_back({"stale-box"});
+    fleet.push_back({"spammer"});
+    fleet.back().reconnectStorm = true;
+
+    Rng rng(0x5eedba5eULL);
+    FleetCounters fc;
+    const int kEpochs = 10, kDeltasPerEpoch = 4;
+
+    const auto t0 = Clock::now();
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+        // The traffic distribution shifts halfway: fingerprints move
+        // exactly once, so exactly two reschedules should *run*.
+        const std::string &honest =
+            epoch < kEpochs / 2 ? trainText : testText;
+        for (int d = 0; d < kDeltasPerEpoch; ++d) {
+            for (auto &c : fleet) {
+                const bool spam = c.id == "spammer";
+                const bool badbox = c.id == "stale-box";
+                const std::string &text =
+                    badbox ? (rng.chance(0.5) ? staleText
+                                              : std::string("garbage"))
+                            : honest;
+                // Spammer sends a burst of 3 per slot in a reconnect
+                // storm; everyone occasionally resends the last seq.
+                const int sends = spam ? 3 : 1;
+                for (int s = 0; s < sends; ++s) {
+                    const bool dup = c.seq > 0 && rng.chance(0.15);
+                    const uint64_t seq = dup ? c.seq : ++c.seq;
+                    if (c.reconnectStorm) {
+                        core->dropConnection(c.connKey());
+                        ++c.conn;
+                        ++fc.reconnects;
+                    }
+                    const AckCode code =
+                        deliver(*core, c, encodeDelta(seq, 1, text),
+                                rng.chance(0.1), fc);
+                    count(code, fc);
+                    // A throttled honest seq would be retried next
+                    // epoch by a real client; the sim just moves on.
+                    if (code == AckCode::Throttled && !dup)
+                        --c.seq;
+                }
+            }
+        }
+        if (Status st = core->tick(); !st.ok())
+            panic("tick failed: %s", st.toString().c_str());
+    }
+    const double streamMs = msSince(t0);
+
+    const auto &reg = core->stats();
+    const uint64_t attempts = reg.counter("serve.resched.attempts");
+    const uint64_t runs = reg.counter("serve.resched.runs");
+    const uint64_t skipped = reg.counter("serve.resched.skippedUnmoved");
+    const uint64_t cacheHits = reg.counter("serve.resched.cacheHits");
+    const uint64_t cacheMisses =
+        reg.counter("serve.resched.cacheMisses");
+    const uint64_t liveKeys = core->aggregate().liveKeys();
+    const uint64_t droppedKeys = core->aggregate().droppedKeys();
+
+    std::printf("fleet: %llu frames, %llu admitted, %llu dup, "
+                "%llu throttled, %llu rejected, %llu quarantined, "
+                "%llu torn, %llu reconnects (%.0f ms)\n",
+                (unsigned long long)fc.framesSent,
+                (unsigned long long)fc.admitted,
+                (unsigned long long)fc.duplicates,
+                (unsigned long long)fc.throttled,
+                (unsigned long long)fc.rejected,
+                (unsigned long long)fc.quarantined,
+                (unsigned long long)fc.tornFrames,
+                (unsigned long long)fc.reconnects, streamMs);
+    std::printf("resched: %llu attempts, %llu runs, %llu gated off, "
+                "cache %llu hits / %llu misses\n",
+                (unsigned long long)attempts, (unsigned long long)runs,
+                (unsigned long long)skipped,
+                (unsigned long long)cacheHits,
+                (unsigned long long)cacheMisses);
+    std::printf("memory: %llu live keys (cap %llu/bucket), "
+                "%llu dropped\n",
+                (unsigned long long)liveKeys,
+                (unsigned long long)opts.aggregate.maxKeysPerBucket,
+                (unsigned long long)droppedKeys);
+
+    // Only moved-fingerprint epochs may actually run the scheduler.
+    if (runs + skipped + reg.counter("serve.resched.skippedEmpty")
+        != attempts)
+        panic("reschedule accounting leak");
+    if (runs > 3)
+        panic("fingerprint gate leaked: %llu runs for one "
+              "distribution shift",
+              (unsigned long long)runs);
+
+    // --- warm reschedule: aggregate unchanged -> pure cache serve. ---
+    // First a forced run to populate the cache at the current window,
+    // then the measured rerun, which must be served hit-for-hit.
+    if (const auto seed2 = core->attemptReschedule(true);
+        !seed2.status.ok())
+        panic("cache seed run failed");
+    const RescheduleOutcome warm = core->attemptReschedule(true);
+    if (!warm.status.ok() || !warm.ran)
+        panic("warm reschedule did not run");
+    std::printf("warm resched: %llu cache hits, %llu misses\n",
+                (unsigned long long)warm.cacheHits,
+                (unsigned long long)warm.cacheMisses);
+    if (warm.cacheMisses != 0)
+        panic("unchanged aggregate missed the stage cache");
+
+    // --- hostile key flood: the per-bucket cap bounds memory. ---
+    AggregateOptions floodOpts;
+    floodOpts.maxKeysPerBucket = 1000;
+    Aggregate flood(floodOpts);
+    AdmittedDelta fd;
+    fd.clientId = "flood";
+    fd.seq = 1;
+    for (uint32_t k = 0; k < 10000; ++k)
+        fd.edges.push_back({k >> 8, k & 0xff, (k & 0xff) + 1, 1});
+    fd.normalize();
+    flood.apply(fd);
+    std::printf("key flood: %llu live keys (cap %llu), %llu dropped\n",
+                (unsigned long long)flood.liveKeys(),
+                (unsigned long long)floodOpts.maxKeysPerBucket,
+                (unsigned long long)flood.droppedKeys());
+    if (flood.liveKeys() > floodOpts.maxKeysPerBucket)
+        panic("key cap leaked");
+
+    // --- kill -9: destroy with no shutdown, recover, compare. ---
+    const std::string preCrash = core->aggregate().serialize();
+    const uint64_t preHash = core->aggregate().contentHash();
+    core.reset();
+
+    const auto r0 = Clock::now();
+    auto reborn = std::make_unique<ServeCore>(w, opts, stateDir);
+    if (Status st = reborn->init(); !st.ok())
+        panic("recovery failed: %s", st.toString().c_str());
+    const double recoveryMs = msSince(r0);
+
+    const bool identical =
+        reborn->aggregate().serialize() == preCrash &&
+        reborn->aggregate().contentHash() == preHash;
+    std::printf("recovery: %.1f ms, %llu records + %llu epochs "
+                "replayed, bit-identical: %s\n",
+                recoveryMs,
+                (unsigned long long)reborn->recovery().recordsReplayed,
+                (unsigned long long)reborn->recovery().epochRecords,
+                identical ? "yes" : "NO");
+    if (!identical)
+        panic("recovered aggregate differs from pre-crash state");
+
+    bench::JsonReport report("serve");
+    report.row("fleet", "noisy");
+    report.metric("frames", double(fc.framesSent));
+    report.metric("admitted", double(fc.admitted));
+    report.metric("duplicates", double(fc.duplicates));
+    report.metric("throttled", double(fc.throttled));
+    report.metric("rejected", double(fc.rejected));
+    report.metric("quarantined", double(fc.quarantined));
+    report.metric("tornFrames", double(fc.tornFrames));
+    report.metric("reconnects", double(fc.reconnects));
+    report.metric("streamMs", streamMs);
+    report.row("resched", "gated");
+    report.metric("attempts", double(attempts));
+    report.metric("runs", double(runs));
+    report.metric("skippedUnmoved", double(skipped));
+    report.metric("ratio",
+                  attempts == 0 ? 0.0
+                                : double(runs) / double(attempts));
+    report.metric("cacheHits", double(cacheHits));
+    report.metric("cacheMisses", double(cacheMisses));
+    report.metric("cacheHitRate",
+                  cacheHits + cacheMisses == 0
+                      ? 0.0
+                      : double(cacheHits) /
+                            double(cacheHits + cacheMisses));
+    report.row("resched-warm", "unchanged-aggregate");
+    report.metric("cacheHits", double(warm.cacheHits));
+    report.metric("cacheMisses", double(warm.cacheMisses));
+    report.row("memory", "bounded");
+    report.metric("liveKeys", double(liveKeys));
+    report.metric("keyCap", double(opts.aggregate.maxKeysPerBucket));
+    report.metric("droppedKeys", double(droppedKeys));
+    report.row("memory", "key-flood");
+    report.metric("liveKeys", double(flood.liveKeys()));
+    report.metric("keyCap", double(floodOpts.maxKeysPerBucket));
+    report.metric("droppedKeys", double(flood.droppedKeys()));
+    report.row("recovery", "kill9");
+    report.metric("ms", recoveryMs);
+    report.metric("records",
+                  double(reborn->recovery().recordsReplayed));
+    report.metric("bitIdentical", identical ? 1.0 : 0.0);
+
+    if (!report.write())
+        std::fprintf(stderr,
+                     "warning: could not write BENCH_serve.json\n");
+    return 0;
+}

@@ -509,11 +509,21 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     }
 
     // Stage-cache admission: a chain may be memoized only when its
-    // result is a pure function of the key — no budgets (they degrade),
-    // no armed faults (they misbehave on purpose), no admission action
-    // on the procedure (it changes the profile the chain consumes).
+    // result is a pure function of the key — no op/step budgets (a hit
+    // would bypass the exhaustion an uncached run records), no armed
+    // faults (they misbehave on purpose), no admission action on the
+    // procedure (it changes the profile the chain consumes).  A
+    // *deadline-only* budget is compatible: expiry is a wall-clock race
+    // in any case, degraded procedures are never stored (storeInCache
+    // skips quarantined[p]), and a hit only shortens the run — the
+    // serving loop relies on this to reschedule under a deadline while
+    // still reusing unchanged procedures.
+    const bool ops_budgeted =
+        budget_active &&
+        (bud.formGrowthOps != 0 || bud.compactOps != 0 ||
+         bud.regallocOps != 0 || bud.interpSteps != 0);
     const bool cache_usable =
-        cache != nullptr && !budget_active && faults == nullptr;
+        cache != nullptr && !ops_budgeted && faults == nullptr;
     if (cache_usable) {
         const bool edge_cfg = config == SchedConfig::M4 ||
                               config == SchedConfig::M16;

@@ -14,45 +14,19 @@ using ir::BlockId;
 using ir::ProcId;
 
 uint64_t
-fnv1a64(const void *data, size_t size, uint64_t seed)
-{
-    const auto *p = static_cast<const unsigned char *>(data);
-    uint64_t h = seed;
-    for (size_t i = 0; i < size; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-namespace {
-
-/** Fold @p v into a running FNV-1a state byte by byte. */
-uint64_t
-fnvMix(uint64_t h, uint64_t v)
-{
-    unsigned char bytes[8];
-    for (int i = 0; i < 8; ++i)
-        bytes[i] = (unsigned char)(v >> (8 * i));
-    return fnv1a64(bytes, sizeof bytes, h);
-}
-
-} // namespace
-
-uint64_t
 cfgFingerprint(const ir::Procedure &proc)
 {
     uint64_t h = fnv1a64(nullptr, 0);
-    h = fnvMix(h, proc.blocks.size());
+    h = fnv1a64Mix(h, proc.blocks.size());
     std::vector<BlockId> succs;
     for (const ir::BasicBlock &bb : proc.blocks) {
         succs.clear();
         ir::successorsOf(bb, succs);
-        h = fnvMix(h, succs.size());
+        h = fnv1a64Mix(h, succs.size());
         for (BlockId s : succs)
-            h = fnvMix(h, s);
+            h = fnv1a64Mix(h, s);
         const bool conditional = !bb.empty() && bb.terminator().isBranch();
-        h = fnvMix(h, conditional ? 1 : 0);
+        h = fnv1a64Mix(h, conditional ? 1 : 0);
     }
     return h;
 }
@@ -109,12 +83,6 @@ parseHex64(const std::string &tok, uint64_t &out)
     const char *last = first + tok.size();
     const auto [ptr, ec] = std::from_chars(first, last, out, 16);
     return ec == std::errc() && ptr == last;
-}
-
-std::string
-hex16(uint64_t v)
-{
-    return strfmt("%016llx", (unsigned long long)v);
 }
 
 /** Split @p line on runs of spaces/tabs. */

@@ -53,13 +53,15 @@
 
 #include "profile/edge_profile.hpp"
 #include "profile/path_profile.hpp"
+#include "support/hash.hpp"
 #include "support/status.hpp"
 
 namespace pathsched::profile {
 
-/** FNV-1a 64-bit hash (the v2 checksum/fingerprint primitive). */
-uint64_t fnv1a64(const void *data, size_t size,
-                 uint64_t seed = 0xcbf29ce484222325ULL);
+/** FNV-1a 64-bit hash (the v2 checksum/fingerprint primitive) — the
+ *  shared implementation in support/hash.hpp, re-exported under its
+ *  historical name for the pre-extraction call sites. */
+using pathsched::fnv1a64;
 
 /** Structural CFG hash of @p proc (see the file comment). */
 uint64_t cfgFingerprint(const ir::Procedure &proc);

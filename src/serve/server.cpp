@@ -1,0 +1,443 @@
+#include "serve/server.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "profile/edge_profile.hpp"
+#include "profile/path_profile.hpp"
+#include "profile/serialize.hpp"
+#include "support/hash.hpp"
+#include "support/strutil.hpp"
+
+namespace pathsched::serve {
+
+bool
+validClientId(const std::string &id)
+{
+    if (id.empty() || id.size() > 64)
+        return false;
+    for (char c : id) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+ServeCore::ServeCore(workloads::Workload workload, ServeOptions opts,
+                     std::string stateDir)
+    : workload_(std::move(workload)), opts_(opts),
+      agg_(opts.aggregate), wal_(std::move(stateDir)),
+      admission_(workload_.program, opts.pipelineBase.pathParams,
+                 opts.admission),
+      cache_(opts.cacheDir)
+{
+    if (opts_.reschedEveryEpochs == 0)
+        opts_.reschedEveryEpochs = 1;
+}
+
+ServeCore::~ServeCore() = default;
+
+Status
+ServeCore::init()
+{
+    ps_assert_msg(!inited_, "ServeCore::init() called twice");
+    if (Status st = wal_.open(agg_, recovery_); !st.ok())
+        return st;
+    // Admission's epoch-driven soft state restarts in sync with the
+    // recovered aggregate epoch; scores/tokens themselves are soft and
+    // reset — only the seq cursors are durable (see admission.hpp).
+    admission_.onEpoch(agg_.epoch());
+    registry_.setGauge("serve.recovery.snapshotGen",
+                       double(recovery_.snapshotGen));
+    registry_.addCounter("serve.recovery.recordsReplayed",
+                         recovery_.recordsReplayed);
+    registry_.addCounter("serve.recovery.tornSegments",
+                         recovery_.tornSegments);
+    registry_.addCounter("serve.recovery.tornBytes",
+                         recovery_.tornBytes);
+    registry_.addCounter("serve.recovery.snapshotsSkipped",
+                         recovery_.snapshotsSkipped);
+    inited_ = true;
+    return Status();
+}
+
+void
+ServeCore::dropConnection(const std::string &connKey)
+{
+    conns_.erase(connKey);
+}
+
+std::vector<std::string>
+ServeCore::handleFrame(const std::string &connKey,
+                       const std::string &payload, bool &dropConn)
+{
+    ps_assert_msg(inited_, "ServeCore used before init()");
+    ++frames_seen_;
+    registry_.addCounter("serve.ingest.frames", 1);
+    Message msg;
+    if (Status st = decodeMessage(payload, msg); !st.ok()) {
+        // An undecodable payload inside a CRC-valid frame is protocol
+        // misuse, not line noise: drop the connection.
+        registry_.addCounter("serve.ingest.badMessages", 1);
+        dropConn = true;
+        return {encodeAck(0, AckCode::Error, st.toString())};
+    }
+    return handleMessage(connKey, msg, dropConn);
+}
+
+std::vector<std::string>
+ServeCore::handleMessage(const std::string &connKey, const Message &msg,
+                         bool &dropConn)
+{
+    std::vector<std::string> out;
+    ConnState &conn = conns_[connKey];
+
+    switch (msg.type) {
+    case MsgType::Hello: {
+        if (msg.version != kWireVersion) {
+            registry_.addCounter("serve.ingest.versionMismatch", 1);
+            dropConn = true;
+            out.push_back(encodeAck(
+                0, AckCode::Error,
+                strfmt("unsupported wire version %u (speak %u)",
+                       msg.version, kWireVersion)));
+            break;
+        }
+        if (!validClientId(msg.clientId)) {
+            registry_.addCounter("serve.ingest.badClientId", 1);
+            dropConn = true;
+            out.push_back(encodeAck(0, AckCode::Error,
+                                    "invalid client id (want "
+                                    "[A-Za-z0-9_-]{1,64})"));
+            break;
+        }
+        conn.hello = true;
+        conn.clientId = msg.clientId;
+        out.push_back(encodeAck(0, AckCode::Accepted, "hello"));
+        break;
+    }
+    case MsgType::Delta: {
+        if (!conn.hello) {
+            registry_.addCounter("serve.ingest.noHello", 1);
+            dropConn = true;
+            out.push_back(encodeAck(msg.seq, AckCode::Error,
+                                    "Delta before Hello"));
+            break;
+        }
+        AdmissionResult verdict = admission_.evaluate(
+            conn.clientId, agg_.lastSeq(conn.clientId), msg.seq,
+            msg.profileKind, msg.text);
+        registry_.addCounter(
+            strfmt("serve.ingest.%s", ackCodeName(verdict.code)), 1);
+        if (verdict.code == AckCode::Accepted) {
+            // Durability before visibility before the Ack.
+            if (Status st = wal_.appendAdmitted(verdict.delta);
+                !st.ok()) {
+                registry_.addCounter("serve.wal.appendFailures", 1);
+                out.push_back(
+                    encodeAck(msg.seq, AckCode::Error, st.toString()));
+                break;
+            }
+            agg_.apply(verdict.delta);
+            ++deltas_accepted_;
+            if (Status st = maybeSnapshot(); !st.ok())
+                registry_.addCounter("serve.wal.snapshotFailures", 1);
+        }
+        out.push_back(
+            encodeAck(msg.seq, verdict.code, verdict.detail));
+        break;
+    }
+    case MsgType::Tick: {
+        if (Status st = tick(); !st.ok())
+            out.push_back(encodeAck(0, AckCode::Error, st.toString()));
+        else
+            out.push_back(encodeAck(0, AckCode::Accepted, "tick"));
+        break;
+    }
+    case MsgType::Flush: {
+        if (Status st = flush(); !st.ok())
+            out.push_back(encodeAck(0, AckCode::Error, st.toString()));
+        else
+            out.push_back(encodeAck(0, AckCode::Accepted, "flush"));
+        break;
+    }
+    case MsgType::StatsReq:
+        out.push_back(encodeStatsRep(statusJson()));
+        break;
+    case MsgType::Bye:
+        dropConn = true;
+        break;
+    default:
+        // Server-to-client or WAL-only tags arriving on the ingest
+        // side are protocol misuse.
+        registry_.addCounter("serve.ingest.badMessages", 1);
+        dropConn = true;
+        out.push_back(encodeAck(0, AckCode::Error,
+                                "unexpected message direction"));
+        break;
+    }
+    return out;
+}
+
+Status
+ServeCore::maybeSnapshot()
+{
+    if (opts_.snapshotEvery == 0 ||
+        wal_.liveRecords() < opts_.snapshotEvery)
+        return Status();
+    Status st = wal_.snapshot(agg_);
+    if (st.ok())
+        registry_.addCounter("serve.wal.snapshots", 1);
+    return st;
+}
+
+Status
+ServeCore::tick()
+{
+    ps_assert_msg(inited_, "ServeCore used before init()");
+    const uint64_t next = agg_.epoch() + 1;
+    // WAL first: replaying an epoch record twice is idempotent
+    // (advanceEpoch is monotonic), losing one would time-travel decay.
+    if (Status st = wal_.appendEpoch(next); !st.ok())
+        return st;
+    agg_.advanceEpoch(next);
+    admission_.onEpoch(next);
+    ++ticks_;
+    registry_.addCounter("serve.epochs", 1);
+    if (Status st = maybeSnapshot(); !st.ok())
+        registry_.addCounter("serve.wal.snapshotFailures", 1);
+    if (ticks_ % opts_.reschedEveryEpochs == 0)
+        (void)attemptReschedule(false);
+    return Status();
+}
+
+Status
+ServeCore::flush()
+{
+    ps_assert_msg(inited_, "ServeCore used before init()");
+    if (Status st = wal_.snapshot(agg_); !st.ok())
+        return st;
+    registry_.addCounter("serve.wal.snapshots", 1);
+    (void)attemptReschedule(false);
+    return Status();
+}
+
+RescheduleOutcome
+ServeCore::attemptReschedule(bool force)
+{
+    RescheduleOutcome oc;
+    oc.attempted = true;
+    registry_.addCounter("serve.resched.attempts", 1);
+
+    // The movement gate: reschedule only when some live procedure's
+    // hot-path fingerprint differs from the last scheduled state.
+    const std::map<uint32_t, uint64_t> fps = agg_.hotFingerprints();
+    oc.procsLive = fps.size();
+    for (const auto &[proc, fp] : fps) {
+        auto it = scheduled_fps_.find(proc);
+        if (it == scheduled_fps_.end() || it->second != fp)
+            ++oc.procsMoved;
+    }
+    if (!force && !runs_.empty() && oc.procsMoved == 0) {
+        oc.skippedUnmoved = true;
+        oc.scheduleHash = schedule_hash_;
+        registry_.addCounter("serve.resched.skippedUnmoved", 1);
+        last_resched_ = oc;
+        return oc;
+    }
+    if (fps.empty() && !force) {
+        // Nothing live to schedule from yet.
+        oc.skippedUnmoved = true;
+        registry_.addCounter("serve.resched.skippedEmpty", 1);
+        last_resched_ = oc;
+        return oc;
+    }
+    registry_.addCounter("serve.resched.procsMoved", oc.procsMoved);
+
+    // Dump the live window as profile text.  Admission already ran per
+    // delta at ingest — the aggregate is trusted internal state, so the
+    // pipeline loads it with check=Off (also keeping every procedure
+    // stage-cache-eligible).  Aggregated counts are sums over many
+    // deltas, which the per-run flow checks would misread anyway.
+    uint64_t dumpSkipped = 0;
+    profile::EdgeProfiler ep(workload_.program);
+    agg_.dumpEdges(ep, dumpSkipped);
+    profile::PathProfiler pp(workload_.program,
+                             opts_.pipelineBase.pathParams);
+    agg_.dumpPaths(pp, dumpSkipped);
+    if (dumpSkipped > 0)
+        registry_.addCounter("serve.resched.dumpSkipped", dumpSkipped);
+
+    const bool pathCfg = opts_.config == pipeline::SchedConfig::P4 ||
+                         opts_.config == pipeline::SchedConfig::P4e;
+    pipeline::PipelineOptions po =
+        pipeline::PipelineOptions::Builder(opts_.pipelineBase)
+            .profileCheck(profile::AdmissionMode::Off)
+            .cache(&cache_)
+            .threads(1)
+            .keepTransformed(true)
+            .build();
+    if (pathCfg)
+        po.profileInput.pathText = profile::toText(pp);
+    else
+        po.profileInput.edgeText = profile::toText(ep);
+    if (opts_.reschedDeadlineMs > 0)
+        po.robustness.budget.deadline =
+            Deadline::afterMs(opts_.reschedDeadlineMs);
+
+    const pipeline::StageCacheStats before = cache_.stats();
+    pipeline::PipelineResult result = pipeline::runPipeline(
+        workload_.program, workload_.train, workload_.test,
+        opts_.config, po);
+    const pipeline::StageCacheStats after = cache_.stats();
+    oc.ran = true;
+    oc.cacheHits = after.hits - before.hits;
+    oc.cacheMisses = after.misses - before.misses;
+    oc.status = result.status;
+    registry_.addCounter("serve.resched.cacheHits", oc.cacheHits);
+    registry_.addCounter("serve.resched.cacheMisses", oc.cacheMisses);
+
+    if (!result.status.ok()) {
+        // Deadline expiry (or any run failure) is retried at the next
+        // trigger; the previous schedule stays current and the
+        // fingerprint gate stays armed because scheduled_fps_ is
+        // untouched.
+        registry_.addCounter(
+            result.status.kind() == ErrorKind::DeadlineExceeded
+                ? "serve.resched.deadlineExpired"
+                : "serve.resched.failures",
+            1);
+        last_resched_ = oc;
+        return oc;
+    }
+
+    ps_assert_msg(result.transformed != nullptr,
+                  "keepTransformed run returned no program");
+    std::string blob;
+    for (const ir::Procedure &proc : result.transformed->procs)
+        pipeline::serializeProcedure(proc, blob);
+    schedule_blob_ = std::move(blob);
+    schedule_hash_ =
+        fnv1a64(schedule_blob_.data(), schedule_blob_.size());
+    oc.scheduleHash = schedule_hash_;
+    scheduled_fps_ = fps;
+    registry_.addCounter("serve.resched.runs", 1);
+    if (result.degradedRun())
+        registry_.addCounter("serve.resched.degradedProcs",
+                             result.degraded.size());
+
+    pipeline::ReportRun run;
+    run.workload = workload_.name;
+    run.result = std::move(result);
+    // The transformed program can be large; the report keeps stats
+    // only.
+    run.result.transformed.reset();
+    runs_.push_back(std::move(run));
+    last_resched_ = oc;
+    return oc;
+}
+
+void
+ServeCore::syncClientCounters()
+{
+    // The admission stats are absolute; registry counters accumulate.
+    // Bridge by adding the delta, so repeated syncs are idempotent.
+    auto sync = [&](const std::string &path, uint64_t absolute) {
+        const uint64_t have = registry_.counter(path);
+        if (absolute > have)
+            registry_.addCounter(path, absolute - have);
+    };
+    for (const auto &[id, cs] : admission_.allStats()) {
+        const std::string base = "serve.client." + id + ".";
+        sync(base + "admitted", cs.admitted);
+        sync(base + "duplicates", cs.duplicates);
+        sync(base + "throttled", cs.throttled);
+        sync(base + "quarantinedDeltas", cs.quarantinedDeltas);
+        sync(base + "rejected", cs.rejected);
+        sync(base + "skippedRecords", cs.skippedRecords);
+        sync(base + "unattributedSkips", cs.unattributedSkips);
+        sync(base + "procsQuarantined", cs.procsQuarantined);
+        sync(base + "procsProjected", cs.procsProjected);
+        sync(base + "procsStale", cs.procsStale);
+        sync(base + "quarantineEntries", cs.quarantineEntries);
+    }
+}
+
+const obs::StatRegistry &
+ServeCore::stats()
+{
+    syncClientCounters();
+    registry_.setGauge("serve.aggregate.epoch", double(agg_.epoch()));
+    registry_.setGauge("serve.aggregate.liveKeys",
+                       double(agg_.liveKeys()));
+    registry_.setGauge("serve.aggregate.droppedKeys",
+                       double(agg_.droppedKeys()));
+    return registry_;
+}
+
+std::string
+ServeCore::statusJson()
+{
+    const obs::StatRegistry &reg = stats();
+    obs::JsonWriter w;
+    w.beginObject();
+    w.member("schema", "pathsched-serve-status-v1");
+    w.member("workload", workload_.name);
+    w.member("config", pipeline::configName(opts_.config));
+    w.member("epoch", agg_.epoch());
+    w.member("framesSeen", frames_seen_);
+    w.member("deltasAccepted", deltas_accepted_);
+    // 64-bit hashes exceed a double's integer range: hex strings.
+    w.member("aggregateHash", hex16(agg_.contentHash()));
+    w.member("scheduleHash", hex16(schedule_hash_));
+    w.key("recovery");
+    w.beginObject();
+    w.member("snapshotGen", recovery_.snapshotGen);
+    w.member("segmentsReplayed", recovery_.segmentsReplayed);
+    w.member("recordsReplayed", recovery_.recordsReplayed);
+    w.member("epochRecords", recovery_.epochRecords);
+    w.member("tornSegments", recovery_.tornSegments);
+    w.member("tornBytes", recovery_.tornBytes);
+    w.member("snapshotsSkipped", recovery_.snapshotsSkipped);
+    w.endObject();
+    w.key("reschedule");
+    w.beginObject();
+    w.member("attempted", last_resched_.attempted);
+    w.member("ran", last_resched_.ran);
+    w.member("skippedUnmoved", last_resched_.skippedUnmoved);
+    w.member("procsLive", last_resched_.procsLive);
+    w.member("procsMoved", last_resched_.procsMoved);
+    w.member("cacheHits", last_resched_.cacheHits);
+    w.member("cacheMisses", last_resched_.cacheMisses);
+    w.member("status", last_resched_.status.toString());
+    w.endObject();
+    w.key("stats");
+    reg.toJson(w);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+ServeCore::reportJson()
+{
+    return pipeline::reportJson(runs_, &stats());
+}
+
+bool
+ServeCore::writeScheduleBlob(const std::string &path) const
+{
+    if (schedule_blob_.empty())
+        return false;
+    FILE *f = fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    const size_t n =
+        fwrite(schedule_blob_.data(), 1, schedule_blob_.size(), f);
+    const bool ok = n == schedule_blob_.size() && fflush(f) == 0;
+    fclose(f);
+    return ok;
+}
+
+} // namespace pathsched::serve

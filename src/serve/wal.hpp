@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Write-ahead log + snapshot durability for the aggregation server.
+ *
+ * Layout of a state directory:
+ *
+ *   wal.<gen>.bin    CRC-framed record stream (serve/wire.hpp frames),
+ *                    fsync'd per append
+ *   snap.<gen>.bin   one frame holding the canonical aggregate blob
+ *                    (Aggregate::serialize), written temp+rename+fsync
+ *
+ * Generations order durability: snapshot generation G captures the
+ * state after every record in wal.<g>.bin for g <= G; the live log is
+ * always wal.<S+1>.bin where S is the newest snapshot.  Recovery:
+ *
+ *   1. load the highest *valid* snapshot (bad trailer -> fall back to
+ *      the previous one; no snapshot -> empty aggregate),
+ *   2. replay wal segments with gen > S in ascending order,
+ *   3. stop a segment's replay at the first torn/corrupt frame — the
+ *      tail beyond a torn write is untrusted, exactly like a torn
+ *      batch-journal line — and truncate it away.
+ *
+ * Because every record is the *post-admission* canonical delta
+ * (AdmittedDelta) or an epoch advance, replay is pure arithmetic: no
+ * re-parsing of client text, no re-auditing, no dependence on the
+ * server's current admission options.  A kill -9 at any byte therefore
+ * recovers to exactly the pre-crash admitted aggregate, which the
+ * crash tests assert by byte-comparing Aggregate::serialize().
+ *
+ * Record payloads (first byte is the MsgType tag):
+ *   WalAdmitted  u8 tag | AdmittedDelta::encode body
+ *   WalEpoch     u8 tag | u64 newEpoch
+ */
+
+#ifndef PATHSCHED_SERVE_WAL_HPP
+#define PATHSCHED_SERVE_WAL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/aggregate.hpp"
+#include "support/status.hpp"
+
+namespace pathsched::serve {
+
+/** Statistics from one recovery pass (for logs / status docs). */
+struct RecoveryInfo
+{
+    uint64_t snapshotGen = 0;     ///< generation restored from (0 = none)
+    uint64_t segmentsReplayed = 0;///< wal segments applied
+    uint64_t recordsReplayed = 0; ///< admitted-delta records applied
+    uint64_t epochRecords = 0;    ///< epoch-advance records applied
+    uint64_t tornSegments = 0;    ///< segments with a truncated tail
+    uint64_t tornBytes = 0;       ///< bytes discarded from torn tails
+    uint64_t snapshotsSkipped = 0;///< corrupt snapshots passed over
+};
+
+/** Durability manager for one state directory. */
+class Wal
+{
+  public:
+    /** Does not touch the filesystem; call open(). */
+    explicit Wal(std::string dir);
+    ~Wal();
+
+    Wal(const Wal &) = delete;
+    Wal &operator=(const Wal &) = delete;
+
+    /**
+     * Recover @p agg from the directory (creating it when absent) and
+     * open the live segment for appending.  @p info reports what
+     * recovery did.  Fatal config errors (unwritable directory) are
+     * returned, not aborted on.
+     */
+    Status open(Aggregate &agg, RecoveryInfo &info);
+
+    /** Append one admitted delta, fsync'd before returning. */
+    Status appendAdmitted(const AdmittedDelta &delta);
+
+    /** Append an epoch-advance record, fsync'd before returning. */
+    Status appendEpoch(uint64_t newEpoch);
+
+    /**
+     * Write a snapshot of @p agg covering everything appended so far,
+     * rotate to a fresh live segment, and delete superseded files.
+     * The snapshot is temp+rename'd so a crash mid-snapshot leaves the
+     * previous generation intact.
+     */
+    Status snapshot(const Aggregate &agg);
+
+    /** Records appended to the live segment since open()/snapshot(). */
+    uint64_t liveRecords() const { return live_records_; }
+
+    /** Generation of the live wal segment. */
+    uint64_t liveGen() const { return live_gen_; }
+
+    const std::string &dir() const { return dir_; }
+
+    /** Apply one WAL record payload to @p agg (shared by recovery and
+     *  tests).  Typed error on a malformed record. */
+    static Status applyRecord(const std::string &payload, Aggregate &agg,
+                              RecoveryInfo *info);
+
+  private:
+    Status openLiveSegment();
+    Status appendFrameDurable(const std::string &payload);
+
+    std::string walPath(uint64_t gen) const;
+    std::string snapPath(uint64_t gen) const;
+
+    std::string dir_;
+    int fd_ = -1;
+    uint64_t live_gen_ = 1;
+    uint64_t live_records_ = 0;
+};
+
+} // namespace pathsched::serve
+
+#endif // PATHSCHED_SERVE_WAL_HPP

@@ -1,0 +1,68 @@
+#include "support/hash.hpp"
+
+namespace pathsched {
+
+uint64_t
+fnv1a64(const void *data, size_t size, uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+uint64_t
+fnv1a64Mix(uint64_t state, uint64_t v)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = (unsigned char)(v >> (8 * i));
+    return fnv1a64(bytes, sizeof bytes, state);
+}
+
+namespace {
+
+struct Crc32Table
+{
+    uint32_t t[256];
+    Crc32Table()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t size)
+{
+    // Magic-static init: safe if first touched from concurrent threads.
+    static const Crc32Table table;
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t c = 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        c = table.t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::string
+hex16(uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[v & 0xF];
+        v >>= 4;
+    }
+    return out;
+}
+
+} // namespace pathsched

@@ -20,7 +20,10 @@ RunningStat::add(double x)
     ++count_;
     sum_ += x;
     const double delta = x - mean_;
-    mean_ += delta / double(count_);
+    // Canonical mean, same derivation as merge(): whenever the sum is
+    // exact (integer samples below 2^53), add-then-merge and pure
+    // sequential accumulation agree bit-for-bit.
+    mean_ = sum_ / double(count_);
     m2_ += delta * (x - mean_);
 }
 
@@ -41,7 +44,17 @@ RunningStat::merge(const RunningStat &other)
     const double na = double(count_), nb = double(other.count_);
     count_ += other.count_;
     sum_ += other.sum_;
-    mean_ += delta * nb / (na + nb);
+    // Canonical mean: derived from the merged sum rather than updated
+    // incrementally (Chan's formula).  count/sum/min/max combine by
+    // exact operations, so whenever the sample sums are exact (integer
+    // samples below 2^53 — profile counts, op counts), every one of
+    // those fields *and* the mean is bit-identical no matter how a
+    // sample stream was split into shards or in which order the shards
+    // merged.  m2 keeps Chan's combination: it is associative only up
+    // to rounding, which merge-order determinism (the executor merges
+    // in procedure-id order) absorbs.  tests/merge_property_test.cpp
+    // pins both guarantees.
+    mean_ = sum_ / double(count_);
     m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
 }
 

@@ -25,7 +25,13 @@ class RunningStat
     /** Fold one sample into the accumulator. */
     void add(double x);
 
-    /** Fold another accumulator in (Chan's parallel combination). */
+    /**
+     * Fold another accumulator in (Chan's parallel combination, with
+     * the merged mean derived canonically from the exact sums).  For
+     * integer-valued sample streams (profile counts) count, sum, min,
+     * max and mean are bit-identical under any shard split or merge
+     * order; m2 (variance) is associative up to rounding only.
+     */
     void merge(const RunningStat &other);
 
     uint64_t count() const { return count_; }

@@ -11,7 +11,10 @@ binaries:
      with a complete journal;
   3. SIGKILLing the *runner* mid-suite loses nothing: rerunning with
      --resume skips every journaled completion and the union of the two
-     runs executes every task exactly once.
+     runs executes every task exactly once;
+  4. SIGTERM stops the suite gracefully: children are killed, the
+     journal gains a suite-abort record and is flushed, the runner
+     exits 4, and --resume finishes the remainder.
 
 Usage: batch_runner_test.py <pathsched_batch> <pathsched_cli>
 """
@@ -171,6 +174,67 @@ def test_kill_runner_and_resume(tmp):
           "final summary covers all tasks exactly once")
 
 
+def test_sigterm_graceful_interrupt(tmp):
+    print("SIGTERM mid-suite: graceful stop, exit 4, resumable journal")
+    journal = os.path.join(tmp, "sigterm.jsonl")
+    workloads = "wc,com,alt,ph"
+    configs = "BB,M4,M16,P4,P4e"
+    args = ["--workloads", workloads, "--configs", configs,
+            "--jobs", "1", "--journal", journal]
+    proc = subprocess.Popen([BATCH, "--cli", CLI] + args,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE, text=True)
+
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            break
+        try:
+            done = [e for e in read_journal(journal)
+                    if e.get("event") == "done"]
+        except FileNotFoundError:
+            done = []
+        if len(done) >= 1:
+            break
+        time.sleep(0.01)
+
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=60)
+        check(proc.returncode == 4,
+              f"interrupted suite exits 4 (got {proc.returncode})")
+        check("interrupted by signal" in stderr,
+              "stderr explains the interruption")
+        ev = read_journal(journal)
+        aborts = [e for e in ev if e.get("event") == "suite-abort"]
+        check(len(aborts) == 1 and aborts[0]["signal"] == 15,
+              "journal records one suite-abort with the signal number")
+        # Nothing after the abort record: the journal was flushed and
+        # closed before exit.
+        check(ev[-1]["event"] == "suite-abort",
+              "suite-abort is the final journal record")
+    else:
+        check(proc.returncode == 0,
+              "suite finished before the signal (fast machine)")
+
+    # The journal is clean: --resume completes the remainder.
+    r = run_batch(args + ["--resume"])
+    check(r.returncode == 0, f"resumed suite exit 0 (got "
+                             f"{r.returncode})")
+    ev = read_journal(journal)
+    ok_done = {}
+    for e in ev:
+        if e.get("event") == "done" and e["outcome"] in ("ok",
+                                                         "degraded"):
+            ok_done[e["task"]] = ok_done.get(e["task"], 0) + 1
+    all_tasks = {f"{w}/{c}" for w in workloads.split(",")
+                 for c in configs.split(",")}
+    check(set(ok_done) == all_tasks,
+          "every task completed across interrupt + resume")
+    check(all(n == 1 for n in ok_done.values()),
+          f"no task completed twice ({ok_done})")
+
+
 def test_corrupt_journal_line_resume(tmp):
     print("corrupt (torn) journal line: --resume skips it and re-runs")
     journal = os.path.join(tmp, "crc.jsonl")
@@ -236,6 +300,8 @@ def main():
         test_timeout_and_retries(tmp)
         test_degraded_exit(tmp)
         test_kill_runner_and_resume(tmp)
+    with tempfile.TemporaryDirectory() as tmp:
+        test_sigterm_graceful_interrupt(tmp)
     with tempfile.TemporaryDirectory() as tmp:
         test_corrupt_journal_line_resume(tmp)
     if failures:

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Property tests for the merge algebra behind sharded aggregation.
+ *
+ * RunningStat::merge is the prototype associative combine the serve
+ * aggregate's contract is modeled on (src/serve/aggregate.hpp): for
+ * integer-valued sample streams — which profile counts are — count,
+ * sum, min, max and mean must be *bit-identical* no matter how the
+ * stream is split into shards or in which order the shards are merged.
+ * Variance (m2) is Chan's parallel formula and is only associative up
+ * to floating-point rounding, so it gets a tolerance, not equality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+
+namespace pathsched {
+namespace {
+
+std::vector<double>
+randomIntegerSamples(Rng &rng, size_t n)
+{
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        xs.push_back(double(rng.below(1u << 20)));
+    return xs;
+}
+
+RunningStat
+accumulate(const std::vector<double> &xs)
+{
+    RunningStat s;
+    for (double x : xs)
+        s.add(x);
+    return s;
+}
+
+/** Split @p xs into @p nShards shard accumulators, assigning each
+ *  sample to a random shard, then merge the shards in random order. */
+RunningStat
+shardAndMerge(const std::vector<double> &xs, uint32_t nShards, Rng &rng)
+{
+    std::vector<std::unique_ptr<RunningStat>> shards;
+    for (uint32_t i = 0; i < nShards; ++i)
+        shards.push_back(std::make_unique<RunningStat>());
+    for (double x : xs)
+        shards[rng.below(nShards)]->add(x);
+    while (shards.size() > 1) {
+        const size_t a = rng.below(shards.size());
+        size_t b = rng.below(shards.size() - 1);
+        if (b >= a)
+            ++b;
+        shards[a]->merge(*shards[b]);
+        shards.erase(shards.begin() + ptrdiff_t(b));
+    }
+    return *shards[0];
+}
+
+TEST(RunningStatMergeTest, IntegerStreamsMergeBitIdentically)
+{
+    for (uint64_t seed = 1; seed <= 16; ++seed) {
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+        const auto xs =
+            randomIntegerSamples(rng, 50 + rng.below(200));
+        const RunningStat whole = accumulate(xs);
+
+        for (uint32_t nShards : {2u, 3u, 7u}) {
+            const RunningStat merged = shardAndMerge(xs, nShards, rng);
+            EXPECT_EQ(merged.count(), whole.count());
+            // Bit-identical, not approximately equal: these are the
+            // fields the crash-recovery hashes depend on.
+            EXPECT_EQ(merged.sum(), whole.sum());
+            EXPECT_EQ(merged.mean(), whole.mean());
+            EXPECT_EQ(merged.min(), whole.min());
+            EXPECT_EQ(merged.max(), whole.max());
+            // Variance is associative only up to rounding.
+            EXPECT_NEAR(merged.variance(), whole.variance(),
+                        1e-6 * (1.0 + whole.variance()))
+                << "seed " << seed << " shards " << nShards;
+        }
+    }
+}
+
+TEST(RunningStatMergeTest, EmptyIsTheIdentityElement)
+{
+    Rng rng(42);
+    const auto xs = randomIntegerSamples(rng, 64);
+    const RunningStat whole = accumulate(xs);
+
+    RunningStat left = whole;
+    left.merge(RunningStat());
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_EQ(left.sum(), whole.sum());
+    EXPECT_EQ(left.mean(), whole.mean());
+    EXPECT_EQ(left.min(), whole.min());
+    EXPECT_EQ(left.max(), whole.max());
+    EXPECT_EQ(left.variance(), whole.variance());
+
+    RunningStat right;
+    right.merge(whole);
+    EXPECT_EQ(right.count(), whole.count());
+    EXPECT_EQ(right.sum(), whole.sum());
+    EXPECT_EQ(right.mean(), whole.mean());
+    EXPECT_EQ(right.min(), whole.min());
+    EXPECT_EQ(right.max(), whole.max());
+    EXPECT_EQ(right.variance(), whole.variance());
+}
+
+TEST(RunningStatMergeTest, SplitPointSweepIsExactForIntegerStreams)
+{
+    Rng rng(7);
+    const auto xs = randomIntegerSamples(rng, 40);
+    const RunningStat whole = accumulate(xs);
+    // Every contiguous split [0,k) + [k,n) merges to the same stats.
+    for (size_t k = 0; k <= xs.size(); ++k) {
+        RunningStat a = accumulate(
+            std::vector<double>(xs.begin(), xs.begin() + ptrdiff_t(k)));
+        const RunningStat b = accumulate(
+            std::vector<double>(xs.begin() + ptrdiff_t(k), xs.end()));
+        a.merge(b);
+        EXPECT_EQ(a.count(), whole.count()) << "split " << k;
+        EXPECT_EQ(a.sum(), whole.sum()) << "split " << k;
+        EXPECT_EQ(a.mean(), whole.mean()) << "split " << k;
+        EXPECT_EQ(a.min(), whole.min()) << "split " << k;
+        EXPECT_EQ(a.max(), whole.max()) << "split " << k;
+    }
+}
+
+TEST(RunningStatMergeTest, MergeMatchesDirectComputation)
+{
+    Rng rng(13);
+    const auto xs = randomIntegerSamples(rng, 100);
+    const RunningStat merged = shardAndMerge(xs, 5, rng);
+
+    double sum = 0, mn = xs[0], mx = xs[0];
+    for (double x : xs) {
+        sum += x;
+        mn = std::min(mn, x);
+        mx = std::max(mx, x);
+    }
+    EXPECT_EQ(merged.count(), xs.size());
+    EXPECT_EQ(merged.sum(), sum);
+    EXPECT_EQ(merged.min(), mn);
+    EXPECT_EQ(merged.max(), mx);
+    // The canonical mean is derived from the exact sum.
+    EXPECT_EQ(merged.mean(), sum / double(xs.size()));
+
+    double m2 = 0;
+    const double mean = sum / double(xs.size());
+    for (double x : xs)
+        m2 += (x - mean) * (x - mean);
+    const double variance = m2 / double(xs.size() - 1);
+    EXPECT_NEAR(merged.variance(), variance, 1e-6 * (1.0 + variance));
+}
+
+} // namespace
+} // namespace pathsched

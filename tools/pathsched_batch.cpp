@@ -17,9 +17,15 @@
  *       --journal batch.jsonl --outdir reports -- --icache
  *   pathsched_batch --resume --journal batch.jsonl
  *
+ * SIGTERM/SIGINT stop the suite gracefully: running children are
+ * killed and reaped, the abort is journaled (flushed + fsync'd, so the
+ * journal never ends in a torn line), and the runner exits 4 — a rerun
+ * with --resume picks up exactly the unfinished tasks.
+ *
  * Exit codes: 0 = every task ok, 1 = user/configuration error,
  * 2 = every task completed but some degraded (child exit 2),
- * 3 = at least one task failed permanently (all attempts exhausted).
+ * 3 = at least one task failed permanently (all attempts exhausted),
+ * 4 = interrupted by SIGTERM/SIGINT (journal clean; resume to finish).
  */
 
 #include <fcntl.h>
@@ -40,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "support/hash.hpp"
 #include "support/logging.hpp"
 #include "support/strutil.hpp"
 #include "workloads/workloads.hpp"
@@ -83,7 +90,8 @@ usage()
         "  everything after '--' is passed through to pathsched_cli\n"
         "\n"
         "exit codes: 0 all ok; 1 user error; 2 completed with\n"
-        "degradations; 3 at least one task failed permanently\n");
+        "degradations; 3 at least one task failed permanently;\n"
+        "4 interrupted (SIGTERM/SIGINT; rerun with --resume)\n");
 }
 
 std::vector<std::string>
@@ -96,28 +104,6 @@ splitList(const std::string &s)
         if (!item.empty())
             out.push_back(item);
     return out;
-}
-
-/** CRC-32 (reflected, poly 0xEDB88320) for per-line journal checks. */
-uint32_t
-crc32(const void *data, size_t size)
-{
-    static uint32_t table[256];
-    static bool init = false;
-    if (!init) {
-        for (uint32_t i = 0; i < 256; ++i) {
-            uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            table[i] = c;
-        }
-        init = true;
-    }
-    const auto *p = static_cast<const unsigned char *>(data);
-    uint32_t c = 0xFFFFFFFFu;
-    for (size_t i = 0; i < size; ++i)
-        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
-    return c ^ 0xFFFFFFFFu;
 }
 
 /**
@@ -278,6 +264,28 @@ uint64_t
 epochSeconds()
 {
     return uint64_t(time(nullptr));
+}
+
+/** Set by the SIGTERM/SIGINT handler; the scheduler loop polls it. */
+volatile sig_atomic_t g_stop_signal = 0;
+
+extern "C" void
+onStopSignal(int sig)
+{
+    g_stop_signal = sig;
+}
+
+/** Install @p handler for SIGTERM and SIGINT (no SA_RESTART, so the
+ *  scheduler's usleep wakes immediately). */
+void
+installStopHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
 }
 
 /** Tasks whose most recent "done" event completed (ok or degraded).
@@ -561,6 +569,7 @@ main(int argc, char **argv)
 
     const int max_attempts = retries + 1;
     std::vector<Running> running;
+    installStopHandlers();
 
     auto launch = [&](size_t idx) {
         Task &t = tasks[idx];
@@ -584,10 +593,10 @@ main(int argc, char **argv)
         return true;
     };
 
-    while (!allDone()) {
+    while (!allDone() && g_stop_signal == 0) {
         // Fill free job slots with runnable tasks (unstarted, or past
         // their retry backoff).
-        while (int(running.size()) < jobs) {
+        while (int(running.size()) < jobs && g_stop_signal == 0) {
             size_t pick = SIZE_MAX;
             const auto now = Clock::now();
             for (size_t i = 0; i < tasks.size(); ++i) {
@@ -696,6 +705,39 @@ main(int argc, char **argv)
         }
         if (!reaped)
             usleep(2000);
+    }
+
+    if (g_stop_signal != 0) {
+        // Graceful abort: kill and reap every live child, journal the
+        // abort (line() flushes and fsyncs, so the journal cannot end
+        // torn), and exit with the distinct interrupted code.  --resume
+        // later re-runs exactly the tasks with no completed "done".
+        for (const auto &r : running)
+            kill(r.pid, SIGKILL);
+        for (const auto &r : running) {
+            int wstatus = 0;
+            waitpid(r.pid, &wstatus, 0);
+            journal.line(strfmt(
+                "{\"event\":\"done\",\"task\":\"%s\",\"attempt\":%d,"
+                "\"outcome\":\"aborted\",\"exit\":-1,\"ts\":%llu}",
+                jsonEscape(tasks[r.taskIdx].name()).c_str(),
+                tasks[r.taskIdx].attempts,
+                (unsigned long long)epochSeconds()));
+        }
+        size_t pending = 0;
+        for (const auto &t : tasks)
+            if (!t.done)
+                ++pending;
+        journal.line(strfmt(
+            "{\"event\":\"suite-abort\",\"signal\":%d,\"ts\":%llu,"
+            "\"killed\":%zu,\"pending\":%zu}",
+            int(g_stop_signal), (unsigned long long)epochSeconds(),
+            running.size(), pending));
+        std::fprintf(stderr,
+                     "interrupted by signal %d: killed %zu task(s), "
+                     "%zu pending; rerun with --resume\n",
+                     int(g_stop_signal), running.size(), pending);
+        return 4;
     }
 
     size_t n_ok = 0, n_degraded = 0, n_failed = 0;
