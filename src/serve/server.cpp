@@ -240,6 +240,12 @@ ServeCore::attemptReschedule(bool force)
         if (it == scheduled_fps_.end() || it->second != fp)
             ++oc.procsMoved;
     }
+    // A scheduled procedure whose data rotated out entirely also moved
+    // (its hot state is now "none"); without this the stale schedule
+    // would persist as long as the live procedures hold still.
+    for (const auto &[proc, fp] : scheduled_fps_)
+        if (fps.find(proc) == fps.end())
+            ++oc.procsMoved;
     if (!force && !runs_.empty() && oc.procsMoved == 0) {
         oc.skippedUnmoved = true;
         oc.scheduleHash = schedule_hash_;
@@ -248,7 +254,9 @@ ServeCore::attemptReschedule(bool force)
         return oc;
     }
     if (fps.empty() && !force) {
-        // Nothing live to schedule from yet.
+        // Nothing live to schedule from: keep the last-known-good
+        // schedule (intentional — an idle fleet shouldn't discard the
+        // schedule its last traffic earned) until data returns.
         oc.skippedUnmoved = true;
         registry_.addCounter("serve.resched.skippedEmpty", 1);
         last_resched_ = oc;

@@ -1,9 +1,11 @@
 #include "serve/socket.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -193,9 +195,15 @@ runSocketLoop(ServeCore &core, const Endpoint &ep,
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 now - lastTick)
                 .count();
-        int timeout = int(opts.epochMs) - int(sinceTick);
-        if (timeout < 0)
-            timeout = 0;
+        // epochMs is user-controlled: clamp before converting so a
+        // value beyond INT_MAX cannot wrap negative and turn the poll
+        // loop into a busy spin.
+        const int64_t remainMs =
+            int64_t(std::min<uint64_t>(
+                opts.epochMs,
+                uint64_t(std::numeric_limits<int>::max()))) -
+            sinceTick;
+        const int timeout = remainMs < 0 ? 0 : int(remainMs);
         const int nready = poll(pfds.data(), nfds_t(pfds.size()),
                                 timeout);
         if (nready < 0 && errno != EINTR) {

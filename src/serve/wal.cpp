@@ -173,17 +173,32 @@ Wal::open(Aggregate &agg, RecoveryInfo &info)
                 ++info.snapshotsSkipped;
                 continue;
             }
-            // Snapshot files are one frame around the aggregate blob.
+            // Snapshot files are a sequence of frames whose payloads
+            // concatenate to the aggregate blob (the blob can exceed a
+            // single frame's cap; see Wal::snapshot).  Any corruption
+            // or trailing partial frame invalidates the whole file.
             FrameDecoder dec;
             dec.feed(blob.data(), blob.size());
-            std::string payload;
-            if (dec.next(payload) != FrameDecoder::Result::Frame) {
+            std::string payload, aggBlob;
+            bool frames = false, bad = false;
+            for (;;) {
+                const auto r = dec.next(payload);
+                if (r == FrameDecoder::Result::Frame) {
+                    aggBlob += payload;
+                    frames = true;
+                    continue;
+                }
+                bad = r != FrameDecoder::Result::NeedMore ||
+                      dec.pendingBytes() > 0;
+                break;
+            }
+            if (bad || !frames) {
                 ++info.snapshotsSkipped;
                 continue;
             }
             Aggregate restored(agg.options());
             if (Status st = Aggregate::deserialize(
-                    payload, agg.options(), restored);
+                    aggBlob, agg.options(), restored);
                 !st.ok()) {
                 ++info.snapshotsSkipped;
                 continue;
@@ -206,7 +221,9 @@ Wal::open(Aggregate &agg, RecoveryInfo &info)
         std::string bytes;
         if (Status st = readWholeFile(path, bytes); !st.ok())
             return st;
-        FrameDecoder dec;
+        // The cap must match what appendFrameDurable admits, or a
+        // record the writer accepted would replay as corrupt.
+        FrameDecoder dec(kMaxWalPayload);
         dec.feed(bytes.data(), bytes.size());
         std::string payload;
         size_t consumed = 0;
@@ -259,6 +276,14 @@ Status
 Wal::appendFrameDurable(const std::string &payload)
 {
     ps_assert_msg(fd_ >= 0, "Wal append before open()");
+    // Recovery decodes with a kMaxWalPayload cap; a record beyond it
+    // would be written durably but classified as corrupt on replay,
+    // silently truncating everything after it.  Refuse it up front.
+    if (payload.size() > kMaxWalPayload)
+        return Status::error(
+            ErrorKind::BudgetExceeded,
+            strfmt("wal: record payload %zu exceeds replay cap %u",
+                   payload.size(), kMaxWalPayload));
     std::string frame;
     appendFrame(frame, payload);
     size_t off = 0;
@@ -305,8 +330,21 @@ Wal::snapshot(const Aggregate &agg)
     const std::string tmp = strfmt("%s/snap.tmp", dir_.c_str());
     const std::string fin = snapPath(gen);
     {
+        // The aggregate blob has no size bound, but every frame does:
+        // chunk it so recovery (which reassembles the payloads) never
+        // sees a frame beyond the decoder cap, no matter how many live
+        // keys the aggregate holds.
         std::string frame;
-        appendFrame(frame, agg.serialize());
+        {
+            const std::string blob = agg.serialize();
+            size_t off = 0;
+            do {
+                const size_t n = std::min<size_t>(blob.size() - off,
+                                                  kMaxFramePayload);
+                appendFrame(frame, blob.substr(off, n));
+                off += n;
+            } while (off < blob.size());
+        }
         const int tfd =
             ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
         if (tfd < 0)

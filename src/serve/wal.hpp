@@ -4,10 +4,15 @@
  *
  * Layout of a state directory:
  *
- *   wal.<gen>.bin    CRC-framed record stream (serve/wire.hpp frames),
+ *   wal.<gen>.bin    CRC-framed record stream (serve/wire.hpp frames,
+ *                    each record capped at kMaxWalPayload — enforced
+ *                    at append time so every durable record replays),
  *                    fsync'd per append
- *   snap.<gen>.bin   one frame holding the canonical aggregate blob
- *                    (Aggregate::serialize), written temp+rename+fsync
+ *   snap.<gen>.bin   frame sequence whose concatenated payloads are
+ *                    the canonical aggregate blob (Aggregate::
+ *                    serialize, chunked at kMaxFramePayload so blobs
+ *                    of any size round-trip), written temp+rename+
+ *                    fsync
  *
  * Generations order durability: snapshot generation G captures the
  * state after every record in wal.<g>.bin for g <= G; the live log is

@@ -59,6 +59,15 @@ constexpr uint16_t kWireVersion = 1;
  *  rejected before any allocation (a 4-byte flip cannot OOM us). */
 constexpr uint32_t kMaxFramePayload = 4u << 20;
 
+/** Cap on one WAL *record* payload.  Wider than the socket cap because
+ *  re-encoding an admitted (text) delta to binary can grow past
+ *  kMaxFramePayload.  The writer enforces it per append and recovery
+ *  decodes with exactly this cap, so every record the WAL accepts is
+ *  replayable — an oversized record fails the append with a typed
+ *  error instead of poisoning the log tail.  Snapshots are exempt:
+ *  they are chunked into kMaxFramePayload-sized frames instead. */
+constexpr uint32_t kMaxWalPayload = 64u << 20;
+
 /** Payload type tags (first payload byte). */
 enum class MsgType : uint8_t
 {

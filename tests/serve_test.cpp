@@ -512,6 +512,85 @@ TEST_F(WalTest, SnapshotRotatesAndCorruptSnapshotFallsBack)
     EXPECT_GE(info3.snapshotsSkipped, 1u);
 }
 
+TEST_F(WalTest, SnapshotLargerThanOneFrameRoundTrips)
+{
+    // An aggregate whose canonical blob exceeds kMaxFramePayload must
+    // still snapshot and recover bit-identically: the writer chunks
+    // the blob across frames, recovery reassembles them.  (Before
+    // chunking, recovery's single-frame read classified such a
+    // snapshot as corrupt — after snapshot() had already deleted the
+    // WAL segments covering it, losing acked state.)
+    Aggregate live;
+    {
+        AdmittedDelta d;
+        d.clientId = "c";
+        d.seq = 1;
+        d.edges.reserve(220000);
+        for (uint32_t i = 0; i < 220000; ++i)
+            d.edges.push_back({i >> 12, i, i + 1, 7});
+        d.normalize();
+        live.apply(d);
+    }
+    const std::string blob = live.serialize();
+    ASSERT_GT(blob.size(), size_t(kMaxFramePayload));
+
+    uint64_t snapGen = 0;
+    {
+        Wal wal(dir_);
+        Aggregate scratch;
+        RecoveryInfo info;
+        ASSERT_TRUE(wal.open(scratch, info).ok());
+        ASSERT_TRUE(wal.snapshot(live).ok());
+        snapGen = wal.liveGen() - 1;
+    }
+    Wal wal2(dir_);
+    Aggregate recovered;
+    RecoveryInfo info;
+    ASSERT_TRUE(wal2.open(recovered, info).ok());
+    EXPECT_EQ(info.snapshotGen, snapGen);
+    EXPECT_EQ(info.snapshotsSkipped, 0u);
+    EXPECT_EQ(recovered.serialize(), blob);
+}
+
+TEST_F(WalTest, OversizedRecordIsRefusedNotWrittenUnreplayably)
+{
+    // A record beyond kMaxWalPayload must fail the append with a typed
+    // error — writing it would make the segment unreplayable (recovery
+    // would classify it as corrupt and truncate the tail).
+    AdmittedDelta huge;
+    huge.clientId = "c";
+    huge.seq = 1;
+    huge.paths.push_back(
+        {0, std::vector<uint32_t>(kMaxWalPayload / 4 + 64, 3), 1});
+
+    Aggregate survivor;
+    {
+        Wal wal(dir_);
+        Aggregate scratch;
+        RecoveryInfo info;
+        ASSERT_TRUE(wal.open(scratch, info).ok());
+        const Status st = wal.appendAdmitted(huge);
+        ASSERT_FALSE(st.ok());
+        EXPECT_EQ(st.kind(), ErrorKind::BudgetExceeded);
+        EXPECT_EQ(wal.liveRecords(), 0u);
+        // The log stays healthy: later records append and replay.
+        AdmittedDelta small;
+        small.clientId = "c";
+        small.seq = 2;
+        small.edges.push_back({0, 0, 1, 5});
+        small.normalize();
+        ASSERT_TRUE(wal.appendAdmitted(small).ok());
+        survivor.apply(small);
+    }
+    Wal wal2(dir_);
+    Aggregate recovered;
+    RecoveryInfo info;
+    ASSERT_TRUE(wal2.open(recovered, info).ok());
+    EXPECT_EQ(info.recordsReplayed, 1u);
+    EXPECT_EQ(info.tornSegments, 0u);
+    EXPECT_EQ(recovered.serialize(), survivor.serialize());
+}
+
 // ---------------------------------------------------------------------
 // Serving helpers: a real workload profile as the delta payload.
 
@@ -854,6 +933,34 @@ TEST_F(ServeCoreTest, RescheduleIsFingerprintGatedAndCacheServed)
     EXPECT_TRUE(second.attempted);
     EXPECT_FALSE(second.ran);
     EXPECT_TRUE(second.skippedUnmoved);
+}
+
+TEST_F(ServeCoreTest, RotatedOutProcedureCountsAsMoved)
+{
+    auto core = makeCore("s");
+    EXPECT_EQ(sendDelta(*core, "conn", "c1", 1, pathText_),
+              AckCode::Accepted);
+    const RescheduleOutcome first = core->attemptReschedule(false);
+    ASSERT_TRUE(first.status.ok());
+    ASSERT_TRUE(first.ran);
+    const uint64_t scheduledProcs = first.procsLive;
+    ASSERT_GT(scheduledProcs, 0u);
+
+    // Advance past the decay window so every bucket holding the delta
+    // rotates out.
+    for (uint64_t i = 0; i <= core->aggregate().options().windows; ++i)
+        ASSERT_TRUE(core->tick().ok());
+    ASSERT_EQ(core->aggregate().liveKeys(), 0u);
+
+    // The scheduled procedures' hot state changed to "no data": the
+    // gate must count them as moved rather than read the empty window
+    // as "nothing moved" forever.  With nothing live to schedule from
+    // the run itself is still skipped (last-known-good retention), but
+    // the gate stays armed for when data returns.
+    const RescheduleOutcome gone = core->attemptReschedule(false);
+    EXPECT_EQ(gone.procsLive, 0u);
+    EXPECT_EQ(gone.procsMoved, scheduledProcs);
+    EXPECT_FALSE(gone.ran);
 }
 
 TEST_F(ServeCoreTest, EdgeProfileDeltasDriveBBConfigs)

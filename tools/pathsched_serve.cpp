@@ -348,6 +348,9 @@ main(int argc, char **argv)
         } else if (arg == "--rate-limit") {
             sopts.admission.tokensPerEpoch =
                 needU64(i, "--rate-limit");
+            // 0 would throttle every delta forever with no hint why.
+            if (sopts.admission.tokensPerEpoch == 0)
+                fatal("--rate-limit must be positive");
             sopts.admission.maxTokens =
                 sopts.admission.tokensPerEpoch * 2;
         } else if (arg == "--snapshot-every") {
