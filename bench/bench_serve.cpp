@@ -27,8 +27,12 @@
  * those are the numbers the durability design pays for.
  */
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,9 +42,11 @@
 #include "profile/path_profile.hpp"
 #include "profile/serialize.hpp"
 #include "serve/server.hpp"
+#include "serve/wal.hpp"
 #include "serve/wire.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
+#include "support/vio.hpp"
 
 using namespace pathsched;
 using namespace pathsched::serve;
@@ -109,6 +115,7 @@ struct FleetCounters
     uint64_t rejected = 0;
     uint64_t quarantined = 0;
     uint64_t errors = 0;
+    uint64_t unavailable = 0;
     uint64_t reconnects = 0;
 };
 
@@ -167,7 +174,27 @@ count(AckCode code, FleetCounters &fc)
     case AckCode::Quarantined: ++fc.quarantined; break;
     case AckCode::Rejected: ++fc.rejected; break;
     case AckCode::Error: ++fc.errors; break;
+    case AckCode::Unavailable: ++fc.unavailable; break;
     }
+}
+
+/** Read a whole file (binary); empty on failure. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string out((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    return out;
+}
+
+uint64_t
+fileSize(const std::string &path)
+{
+    struct stat sb;
+    if (::stat(path.c_str(), &sb) != 0)
+        panic("stat %s failed", path.c_str());
+    return uint64_t(sb.st_size);
 }
 
 } // namespace
@@ -345,6 +372,143 @@ main()
     if (!identical)
         panic("recovered aggregate differs from pre-crash state");
 
+    // --- hostile disk: WAL fsync EIO -> degrade, NACK, recover. ------
+    // One injected fsync failure on the first append.  The server must
+    // NACK with Unavailable (not ack and lose), serve reads, recover on
+    // the next tick once the fault budget is exhausted, and end up
+    // bit-identical to a control server that never saw the fault.
+    const std::string hdDir = stateDir + "_hd";
+    const std::string ctlDir = stateDir + "_ctl";
+    Vio hostile;
+    {
+        std::string err;
+        if (!hostile.parseFaults("path=wal,op=fsync,kind=eio,count=1",
+                                 err))
+            panic("bad fault spec: %s", err.c_str());
+    }
+    ServeOptions hdOpts = opts;
+    hdOpts.vio = &hostile;
+    ServeCore hd(w, hdOpts, hdDir);
+    ServeCore ctl(w, opts, ctlDir);
+    if (Status st = hd.init(); !st.ok())
+        panic("hostile-disk init failed: %s", st.toString().c_str());
+    if (Status st = ctl.init(); !st.ok())
+        panic("control init failed: %s", st.toString().c_str());
+
+    SimClient hc{"hd-client"};
+    SimClient cc{"hd-client"}; // same id: identical WAL records
+    FleetCounters hfc;
+    const std::string hdDelta = encodeDelta(1, 1, trainText);
+    if (deliver(hd, hc, hdDelta, false, hfc) != AckCode::Unavailable)
+        panic("hostile disk: first delta was not NACK'd Unavailable");
+    ++hfc.unavailable;
+    if (hd.health() != Health::Degraded)
+        panic("hostile disk: server not degraded after WAL failure");
+    if (deliver(hd, hc, hdDelta, false, hfc) != AckCode::Unavailable)
+        panic("hostile disk: degraded server admitted a delta");
+    ++hfc.unavailable;
+    // Tick: the reopen retry fires, the fault budget is spent, the
+    // server snapshots back to healthy and the epoch advances.
+    if (Status st = hd.tick(); !st.ok())
+        panic("hostile disk: recovery tick failed: %s",
+              st.toString().c_str());
+    if (hd.health() != Health::Healthy)
+        panic("hostile disk: server did not recover");
+    if (deliver(hd, hc, hdDelta, false, hfc) != AckCode::Accepted)
+        panic("hostile disk: recovered server refused the resend");
+    // Control timeline: the NACK'd attempts never happened, so it is
+    // just tick + the same admitted delta.
+    if (Status st = ctl.tick(); !st.ok())
+        panic("control tick failed: %s", st.toString().c_str());
+    FleetCounters cfc;
+    if (deliver(ctl, cc, hdDelta, false, cfc) != AckCode::Accepted)
+        panic("control server refused the delta");
+    const bool hdIdentical =
+        hd.aggregate().serialize() == ctl.aggregate().serialize() &&
+        hd.aggregate().contentHash() == ctl.aggregate().contentHash();
+    const uint64_t hdReopens =
+        hd.stats().counter("serve.health.reopenAttempts");
+    const uint64_t hdRecoveries =
+        hd.stats().counter("serve.health.recoveries");
+    std::printf("hostile disk: %llu NACKs, %llu reopen attempt(s), "
+                "%llu recovery(ies), bit-identical to control: %s\n",
+                (unsigned long long)hfc.unavailable,
+                (unsigned long long)hdReopens,
+                (unsigned long long)hdRecoveries,
+                hdIdentical ? "yes" : "NO");
+    if (!hdIdentical)
+        panic("recovered-from-fault aggregate differs from control");
+
+    // --- torn-tail sweep: truncate at every byte of the last record. -
+    // Recovery must land on exactly the pre-record aggregate at every
+    // truncation offset: the torn tail is discarded, never applied in
+    // part, and a clean cut at the record boundary is not flagged torn.
+    const std::string sweepSrc = stateDir + "_sweep_src";
+    const std::string sweepDir = stateDir + "_sweep";
+    uint64_t sizeBefore = 0, sizeAfter = 0;
+    std::string expectedBytes;
+    {
+        Wal wal(sweepSrc);
+        Aggregate agg;
+        RecoveryInfo ri;
+        if (Status st = wal.open(agg, ri); !st.ok())
+            panic("sweep wal open failed: %s", st.toString().c_str());
+        Aggregate expected;
+        AdmittedDelta d;
+        d.clientId = "sweeper";
+        const uint64_t kRecords = 4;
+        for (uint64_t s = 1; s <= kRecords; ++s) {
+            d.seq = s;
+            d.edges.clear();
+            for (uint32_t k = 0; k < 8; ++k)
+                d.edges.push_back(
+                    {uint32_t(s % 3), k, k + 1, s * 7 + k});
+            d.normalize();
+            if (s == kRecords) {
+                expectedBytes = expected.serialize();
+                sizeBefore = fileSize(sweepSrc + "/wal.1.bin");
+            } else {
+                expected.apply(d);
+            }
+            if (Status st = wal.appendAdmitted(d); !st.ok())
+                panic("sweep append failed: %s",
+                      st.toString().c_str());
+        }
+        sizeAfter = fileSize(sweepSrc + "/wal.1.bin");
+    }
+    const std::string fullWal = slurp(sweepSrc + "/wal.1.bin");
+    if (fullWal.size() != sizeAfter)
+        panic("sweep source wal changed size");
+    if (::mkdir(sweepDir.c_str(), 0755) != 0 && errno != EEXIST)
+        panic("cannot create %s", sweepDir.c_str());
+    uint64_t sweepViolations = 0;
+    const auto s0 = Clock::now();
+    for (uint64_t off = sizeBefore; off < sizeAfter; ++off) {
+        {
+            std::ofstream out(sweepDir + "/wal.1.bin",
+                              std::ios::binary | std::ios::trunc);
+            out.write(fullWal.data(), std::streamsize(off));
+        }
+        Wal wal(sweepDir);
+        Aggregate agg;
+        RecoveryInfo ri;
+        if (!wal.open(agg, ri).ok()) {
+            ++sweepViolations;
+            continue;
+        }
+        if (agg.serialize() != expectedBytes)
+            ++sweepViolations;
+        if (ri.tornSegments != (off == sizeBefore ? 0u : 1u))
+            ++sweepViolations;
+    }
+    const double sweepMs = msSince(s0);
+    std::printf("torn-tail sweep: %llu offsets, %llu violation(s) "
+                "(%.0f ms)\n",
+                (unsigned long long)(sizeAfter - sizeBefore),
+                (unsigned long long)sweepViolations, sweepMs);
+    if (sweepViolations != 0)
+        panic("torn-tail sweep violated recovery invariants");
+
     bench::JsonReport report("serve");
     report.row("fleet", "noisy");
     report.metric("frames", double(fc.framesSent));
@@ -386,6 +550,15 @@ main()
     report.metric("records",
                   double(reborn->recovery().recordsReplayed));
     report.metric("bitIdentical", identical ? 1.0 : 0.0);
+    report.row("hostile-disk", "wal-fsync-eio");
+    report.metric("nacks", double(hfc.unavailable));
+    report.metric("reopenAttempts", double(hdReopens));
+    report.metric("recoveries", double(hdRecoveries));
+    report.metric("bitIdentical", hdIdentical ? 1.0 : 0.0);
+    report.row("recovery", "torn-tail-sweep");
+    report.metric("offsets", double(sizeAfter - sizeBefore));
+    report.metric("violations", double(sweepViolations));
+    report.metric("ms", sweepMs);
 
     if (!report.write())
         std::fprintf(stderr,

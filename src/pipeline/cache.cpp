@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "profile/serialize.hpp"
@@ -322,7 +323,10 @@ deserializeEntry(const std::string &in, size_t &pos,
 
 } // namespace
 
-StageCache::StageCache(std::string dir) : dir_(std::move(dir)) {}
+StageCache::StageCache(std::string dir, Vio *vio)
+    : dir_(std::move(dir)),
+      vio_(vio != nullptr ? vio : &Vio::system())
+{}
 
 std::string
 StageCache::filePath(const CacheKey &key) const
@@ -344,7 +348,12 @@ StageCache::lookup(const CacheKey &key, Entry &out)
             return true;
         }
     }
-    if (!dir_.empty()) {
+    bool diskOk;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        diskOk = !dir_.empty() && !disk_disabled_;
+    }
+    if (diskOk) {
         // Disk tier: any failure below — unreadable, short, bad magic,
         // wrong key (hash collision in the file name), bad checksum,
         // malformed payload — is a plain miss, never an error.
@@ -392,9 +401,9 @@ StageCache::insert(const CacheKey &key, const Entry &entry)
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.stores;
         map_[key] = entry;
+        if (dir_.empty() || disk_disabled_)
+            return;
     }
-    if (dir_.empty())
-        return;
     std::string blob(kMagic, sizeof kMagic);
     putU64(blob, key.lo);
     putU64(blob, key.hi);
@@ -403,23 +412,46 @@ StageCache::insert(const CacheKey &key, const Entry &entry)
     putU64(blob, profile::fnv1a64(blob.data() + payload_at,
                                   blob.size() - payload_at));
     // Write-then-rename so a concurrent reader only ever sees either
-    // no file or a complete one (the checksum catches the rest).
+    // no file or a complete one (the checksum catches the rest).  No
+    // per-entry fsync: a torn entry after a crash just fails its
+    // checksum and reads as a miss.
     const std::string path = filePath(key);
     const std::string tmp =
         strfmt("%s.tmp.%d", path.c_str(), int(getpid()));
+    Status st;
     {
-        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-        if (!f.write(blob.data(), std::streamsize(blob.size()))) {
-            warn("stage cache: cannot write %s; entry not persisted",
-                 tmp.c_str());
-            std::remove(tmp.c_str());
-            return;
+        Expected<int> fd = vio_->openFile(
+            "cache", tmp, O_WRONLY | O_CREAT | O_TRUNC);
+        if (!fd.ok()) {
+            st = fd.status();
+        } else {
+            st = vio_->writeAll("cache", fd.value(), blob.data(),
+                                blob.size(), tmp);
+            Status cl = vio_->closeFile("cache", fd.value(), tmp);
+            if (st.ok())
+                st = cl;
         }
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        warn("stage cache: cannot rename %s into place", tmp.c_str());
+    if (st.ok())
+        st = vio_->renameFile("cache", tmp, path);
+    if (!st.ok()) {
+        // One fault sidelines the whole disk tier for the rest of the
+        // run: a sick disk must not be probed on every insert, and the
+        // memory tier keeps the run's output bit-identical.
         std::remove(tmp.c_str());
+        warn("stage cache: %s; disk tier disabled for this run",
+             st.message().c_str());
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.diskFailures;
+        disk_disabled_ = true;
     }
+}
+
+bool
+StageCache::diskDisabled() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return disk_disabled_;
 }
 
 StageCacheStats

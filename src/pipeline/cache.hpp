@@ -50,6 +50,7 @@
 #include "machine/machine.hpp"
 #include "regalloc/linear_scan.hpp"
 #include "sched/compact.hpp"
+#include "support/vio.hpp"
 
 namespace pathsched::pipeline {
 
@@ -98,6 +99,7 @@ struct StageCacheStats
     uint64_t diskHits = 0; ///< subset of hits loaded from --cache-dir
     uint64_t stores = 0;   ///< entries inserted
     uint64_t corrupt = 0;  ///< disk entries rejected by the checksum
+    uint64_t diskFailures = 0; ///< disk-tier write faults observed
 };
 
 /** Two-tier memoization of transformed procedures; see file comment. */
@@ -105,8 +107,12 @@ class StageCache
 {
   public:
     /** @p dir is the optional on-disk tier; empty = memory only.  The
-     *  directory must already exist (the CLI creates it). */
-    explicit StageCache(std::string dir = "");
+     *  directory must already exist (the CLI creates it).  Disk writes
+     *  go through @p vio under the "cache" label (nullptr = the system
+     *  passthrough); the first write fault disables the disk tier for
+     *  the rest of the run — the memory tier, and therefore the run's
+     *  output, is unaffected. */
+    explicit StageCache(std::string dir = "", Vio *vio = nullptr);
 
     /** Everything a warm run needs to skip one procedure's transform
      *  chain and still report identical results. */
@@ -131,6 +137,9 @@ class StageCache
 
     StageCacheStats stats() const;
 
+    /** True once a disk-tier write fault has sidelined the tier. */
+    bool diskDisabled() const;
+
     const std::string &
     dir() const
     {
@@ -150,9 +159,11 @@ class StageCache
     std::string filePath(const CacheKey &key) const;
 
     std::string dir_;
+    Vio *vio_;
     mutable std::mutex mu_;
     std::unordered_map<CacheKey, Entry, KeyHash> map_;
     StageCacheStats stats_;
+    bool disk_disabled_ = false;
 };
 
 /**

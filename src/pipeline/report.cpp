@@ -165,7 +165,8 @@ resultToJson(obs::JsonWriter &w, const std::string &workload,
 
 std::string
 reportJson(const std::vector<ReportRun> &runs,
-           const obs::StatRegistry *stats)
+           const obs::StatRegistry *stats,
+           const std::function<void(obs::JsonWriter &)> &extra)
 {
     obs::JsonWriter w;
     w.beginObject();
@@ -179,6 +180,8 @@ reportJson(const std::vector<ReportRun> &runs,
         w.key("stats");
         stats->toJson(w);
     }
+    if (extra)
+        extra(w);
     w.endObject();
     return w.str();
 }

@@ -13,6 +13,7 @@
 #ifndef PATHSCHED_PIPELINE_REPORT_HPP
 #define PATHSCHED_PIPELINE_REPORT_HPP
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,9 +40,15 @@ void resultToJson(obs::JsonWriter &w, const std::string &workload,
 /**
  * Build the full report document: {"schema": ..., "runs": [...],
  * "stats": {...}}.  @p stats may be null (the member is omitted).
+ * @p extra, when set, is called with the writer positioned at the
+ * document's top level so a caller can append additive members (e.g.
+ * the serve layer's "health" block) without forking the schema; it
+ * must emit whole key+value pairs.
  */
-std::string reportJson(const std::vector<ReportRun> &runs,
-                       const obs::StatRegistry *stats = nullptr);
+std::string reportJson(
+    const std::vector<ReportRun> &runs,
+    const obs::StatRegistry *stats = nullptr,
+    const std::function<void(obs::JsonWriter &)> &extra = nullptr);
 
 /** Write reportJson() to @p path ("-" means stdout); false on I/O
  *  failure. */

@@ -246,7 +246,12 @@ Client::sendDelta(uint64_t seq, uint8_t profileKind,
         case AckCode::Duplicate: // admitted before a reconnect
             return Status();
         case AckCode::Throttled:
-            // Rate-limited: back off and retry the same seq.
+        case AckCode::Unavailable:
+            // Rate-limited, or the server is degraded (WAL down): back
+            // off and retry the same seq.  Unavailable is explicitly
+            // NOT a transport error — tearing the connection down and
+            // reconnecting would turn one sick disk into a reconnect
+            // storm; the delta was not admitted, so the resend is safe.
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(backoff));
             backoff = std::min(backoff * 2, opts_.backoffCapMs);
@@ -260,8 +265,8 @@ Client::sendDelta(uint64_t seq, uint8_t profileKind,
                        ackCodeName(resp.ack), resp.text.c_str()));
         }
     }
-    return Status::error(ErrorKind::DeadlineExceeded,
-                         "client: throttled past retry budget");
+    return Status::error(ErrorKind::Unavailable,
+                         "client: backed off past retry budget");
 }
 
 Status

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/json.hpp"
@@ -25,16 +26,29 @@ validClientId(const std::string &id)
     return true;
 }
 
+const char *
+healthName(Health h)
+{
+    switch (h) {
+      case Health::Healthy: return "healthy";
+      case Health::Degraded: return "degraded";
+      case Health::Failing: return "failing";
+    }
+    return "<bad>";
+}
+
 ServeCore::ServeCore(workloads::Workload workload, ServeOptions opts,
                      std::string stateDir)
     : workload_(std::move(workload)), opts_(opts),
-      agg_(opts.aggregate), wal_(std::move(stateDir)),
+      agg_(opts.aggregate), wal_(std::move(stateDir), opts.vio),
       admission_(workload_.program, opts.pipelineBase.pathParams,
                  opts.admission),
-      cache_(opts.cacheDir)
+      cache_(opts.cacheDir, opts.vio)
 {
     if (opts_.reschedEveryEpochs == 0)
         opts_.reschedEveryEpochs = 1;
+    if (opts_.reopenBackoffCapTicks == 0)
+        opts_.reopenBackoffCapTicks = 1;
 }
 
 ServeCore::~ServeCore() = default;
@@ -126,6 +140,18 @@ ServeCore::handleMessage(const std::string &connKey, const Message &msg,
                                     "Delta before Hello"));
             break;
         }
+        if (health_ != Health::Healthy) {
+            // Degraded: the WAL cannot make this delta durable, so it
+            // must not be admitted at all (no token spend, no cursor
+            // move — the NACK is side-effect-free).  The client backs
+            // off and resends the same seq after recovery.
+            registry_.addCounter("serve.ingest.unavailable", 1);
+            out.push_back(encodeAck(
+                msg.seq, AckCode::Unavailable,
+                strfmt("server %s: %s", healthName(health_),
+                       last_health_error_.c_str())));
+            break;
+        }
         AdmissionResult verdict = admission_.evaluate(
             conn.clientId, agg_.lastSeq(conn.clientId), msg.seq,
             msg.profileKind, msg.text);
@@ -136,14 +162,21 @@ ServeCore::handleMessage(const std::string &connKey, const Message &msg,
             if (Status st = wal_.appendAdmitted(verdict.delta);
                 !st.ok()) {
                 registry_.addCounter("serve.wal.appendFailures", 1);
-                out.push_back(
-                    encodeAck(msg.seq, AckCode::Error, st.toString()));
+                degrade(st);
+                out.push_back(encodeAck(msg.seq, AckCode::Unavailable,
+                                        st.toString()));
                 break;
             }
             agg_.apply(verdict.delta);
             ++deltas_accepted_;
-            if (Status st = maybeSnapshot(); !st.ok())
+            if (Status st = maybeSnapshot(); !st.ok()) {
+                // The append above is durable and the old recovery
+                // chain is intact, so the Ack still goes out — but the
+                // WAL's write path is suspect: stop acking until a
+                // reopen proves it healthy again.
                 registry_.addCounter("serve.wal.snapshotFailures", 1);
+                degrade(st);
+            }
         }
         out.push_back(
             encodeAck(msg.seq, verdict.code, verdict.detail));
@@ -151,14 +184,24 @@ ServeCore::handleMessage(const std::string &connKey, const Message &msg,
     }
     case MsgType::Tick: {
         if (Status st = tick(); !st.ok())
-            out.push_back(encodeAck(0, AckCode::Error, st.toString()));
+            out.push_back(encodeAck(
+                0,
+                st.kind() == ErrorKind::Unavailable
+                    ? AckCode::Unavailable
+                    : AckCode::Error,
+                st.toString()));
         else
             out.push_back(encodeAck(0, AckCode::Accepted, "tick"));
         break;
     }
     case MsgType::Flush: {
         if (Status st = flush(); !st.ok())
-            out.push_back(encodeAck(0, AckCode::Error, st.toString()));
+            out.push_back(encodeAck(
+                0,
+                st.kind() == ErrorKind::Unavailable
+                    ? AckCode::Unavailable
+                    : AckCode::Error,
+                st.toString()));
         else
             out.push_back(encodeAck(0, AckCode::Accepted, "flush"));
         break;
@@ -193,21 +236,92 @@ ServeCore::maybeSnapshot()
     return st;
 }
 
+void
+ServeCore::degrade(const Status &why)
+{
+    if (health_ == Health::Healthy) {
+        registry_.addCounter("serve.health.degradeEvents", 1);
+        warn("serve: entering degraded mode: %s",
+             why.toString().c_str());
+        health_ = Health::Degraded;
+    }
+    last_health_error_ = why.toString();
+    // First reopen attempt happens on the next tick; failures then
+    // back off with doubling waits (attemptRecovery).
+    ticks_until_retry_ = 0;
+    retry_backoff_ = 1;
+    reopen_failures_ = 0;
+}
+
+Status
+ServeCore::attemptRecovery()
+{
+    registry_.addCounter("serve.health.reopenAttempts", 1);
+    if (Status st = wal_.reopenAndSnapshot(agg_); !st.ok()) {
+        ++reopen_failures_;
+        registry_.addCounter("serve.health.reopenFailures", 1);
+        last_health_error_ = st.toString();
+        ticks_until_retry_ = retry_backoff_;
+        retry_backoff_ =
+            std::min(retry_backoff_ * 2, opts_.reopenBackoffCapTicks);
+        if (reopen_failures_ >= opts_.failingAfterRetries &&
+            health_ != Health::Failing) {
+            health_ = Health::Failing;
+            registry_.addCounter("serve.health.failingEvents", 1);
+            warn("serve: %u consecutive WAL reopen failures; health is "
+                 "now failing (still retrying)",
+                 unsigned(reopen_failures_));
+        }
+        return Status::error(
+            ErrorKind::Unavailable,
+            strfmt("WAL reopen failed (%u consecutive): %s",
+                   unsigned(reopen_failures_), st.message().c_str()));
+    }
+    // reopenAndSnapshot published a snapshot of the acked state and
+    // rotated to a fresh segment: the WAL is provably writable again.
+    health_ = Health::Healthy;
+    last_health_error_.clear();
+    reopen_failures_ = 0;
+    retry_backoff_ = 1;
+    ticks_until_retry_ = 0;
+    registry_.addCounter("serve.health.recoveries", 1);
+    registry_.addCounter("serve.wal.snapshots", 1);
+    return Status();
+}
+
 Status
 ServeCore::tick()
 {
     ps_assert_msg(inited_, "ServeCore used before init()");
+    if (health_ != Health::Healthy) {
+        // Degraded: the aggregate's clock stands still (advancing the
+        // epoch without WAL-logging it would fork memory from disk).
+        // Ticks instead drive the reopen retry ladder.
+        ++ticks_;
+        if (ticks_until_retry_ > 0) {
+            --ticks_until_retry_;
+            return Status();
+        }
+        if (Status st = attemptRecovery(); !st.ok())
+            return st;
+        // Fall through healthy: the epoch advances again from here.
+    }
     const uint64_t next = agg_.epoch() + 1;
     // WAL first: replaying an epoch record twice is idempotent
     // (advanceEpoch is monotonic), losing one would time-travel decay.
-    if (Status st = wal_.appendEpoch(next); !st.ok())
+    if (Status st = wal_.appendEpoch(next); !st.ok()) {
+        registry_.addCounter("serve.wal.appendFailures", 1);
+        degrade(st);
         return st;
+    }
     agg_.advanceEpoch(next);
     admission_.onEpoch(next);
     ++ticks_;
     registry_.addCounter("serve.epochs", 1);
-    if (Status st = maybeSnapshot(); !st.ok())
+    if (Status st = maybeSnapshot(); !st.ok()) {
         registry_.addCounter("serve.wal.snapshotFailures", 1);
+        degrade(st);
+    }
     if (ticks_ % opts_.reschedEveryEpochs == 0)
         (void)attemptReschedule(false);
     return Status();
@@ -217,8 +331,22 @@ Status
 ServeCore::flush()
 {
     ps_assert_msg(inited_, "ServeCore used before init()");
-    if (Status st = wal_.snapshot(agg_); !st.ok())
+    if (health_ != Health::Healthy) {
+        // A flush wants the state durable *now*: try to recover
+        // immediately instead of waiting out the tick backoff.  Still
+        // down -> typed Unavailable; the caller keeps the
+        // last-known-good outputs.
+        if (Status st = attemptRecovery(); !st.ok())
+            return st;
+        // Recovery itself snapshotted; only the reschedule remains.
+        (void)attemptReschedule(false);
+        return Status();
+    }
+    if (Status st = wal_.snapshot(agg_); !st.ok()) {
+        registry_.addCounter("serve.wal.snapshotFailures", 1);
+        degrade(st);
         return st;
+    }
     registry_.addCounter("serve.wal.snapshots", 1);
     (void)attemptReschedule(false);
     return Status();
@@ -382,7 +510,28 @@ ServeCore::stats()
                        double(agg_.liveKeys()));
     registry_.setGauge("serve.aggregate.droppedKeys",
                        double(agg_.droppedKeys()));
+    registry_.setGauge("serve.health.state", double(uint8_t(health_)));
     return registry_;
+}
+
+void
+ServeCore::healthToJson(obs::JsonWriter &w)
+{
+    w.key("health");
+    w.beginObject();
+    w.member("state", healthName(health_));
+    w.member("lastError", last_health_error_);
+    w.member("degradeEvents",
+             registry_.counter("serve.health.degradeEvents"));
+    w.member("reopenAttempts",
+             registry_.counter("serve.health.reopenAttempts"));
+    w.member("reopenFailures",
+             registry_.counter("serve.health.reopenFailures"));
+    w.member("recoveries",
+             registry_.counter("serve.health.recoveries"));
+    w.member("nackedUnavailable",
+             registry_.counter("serve.ingest.unavailable"));
+    w.endObject();
 }
 
 std::string
@@ -410,6 +559,7 @@ ServeCore::statusJson()
     w.member("tornBytes", recovery_.tornBytes);
     w.member("snapshotsSkipped", recovery_.snapshotsSkipped);
     w.endObject();
+    healthToJson(w);
     w.key("reschedule");
     w.beginObject();
     w.member("attempted", last_resched_.attempted);
@@ -430,7 +580,9 @@ ServeCore::statusJson()
 std::string
 ServeCore::reportJson()
 {
-    return pipeline::reportJson(runs_, &stats());
+    return pipeline::reportJson(
+        runs_, &stats(),
+        [this](obs::JsonWriter &w) { healthToJson(w); });
 }
 
 bool
@@ -438,14 +590,16 @@ ServeCore::writeScheduleBlob(const std::string &path) const
 {
     if (schedule_blob_.empty())
         return false;
-    FILE *f = fopen(path.c_str(), "wb");
-    if (f == nullptr)
+    // Temp + fsync + rename, like snapshots: a reader never observes a
+    // torn blob and a crash right after the write cannot lose it.
+    Status st =
+        atomicWriteFile(opts_.vio, "schedule", path, schedule_blob_);
+    if (!st.ok()) {
+        warn("serve: schedule blob not written: %s",
+             st.message().c_str());
         return false;
-    const size_t n =
-        fwrite(schedule_blob_.data(), 1, schedule_blob_.size(), f);
-    const bool ok = n == schedule_blob_.size() && fflush(f) == 0;
-    fclose(f);
-    return ok;
+    }
+    return true;
 }
 
 } // namespace pathsched::serve

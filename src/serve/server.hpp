@@ -74,7 +74,28 @@ struct ServeOptions
     uint64_t snapshotEvery = 256;
     /** Stage-cache disk tier; empty = memory-only. */
     std::string cacheDir;
+    /** Virtual I/O seam for every durable write (WAL, snapshots, the
+     *  cache disk tier, schedule output); nullptr = the system
+     *  passthrough.  Arm faults on it to exercise degraded mode. */
+    Vio *vio = nullptr;
+    /** Degraded mode: cap on the doubling WAL-reopen backoff, counted
+     *  in epoch ticks (first retry happens on the next tick). */
+    uint32_t reopenBackoffCapTicks = 64;
+    /** Degraded -> failing after this many consecutive reopen
+     *  failures (still recoverable; the ladder keeps retrying). */
+    uint32_t failingAfterRetries = 8;
 };
+
+/** Server health ladder (see docs/serving.md, "Degraded mode"). */
+enum class Health : uint8_t
+{
+    Healthy = 0,  ///< WAL appends succeed; deltas are acked
+    Degraded = 1, ///< WAL down; deltas NACK'd Unavailable, reads served
+    Failing = 2,  ///< reopen retries keep failing; still retrying
+};
+
+/** Stable display name, e.g. "degraded". */
+const char *healthName(Health h);
 
 /** Outcome of one reschedule attempt (see attemptReschedule). */
 struct RescheduleOutcome
@@ -168,6 +189,9 @@ class ServeCore
     uint64_t framesSeen() const { return frames_seen_; }
     uint64_t deltasAccepted() const { return deltas_accepted_; }
 
+    /** Current health state (see the Health ladder). */
+    Health health() const { return health_; }
+
   private:
     struct ConnState
     {
@@ -180,6 +204,14 @@ class ServeCore
                                            bool &dropConn);
     Status maybeSnapshot();
     void syncClientCounters();
+
+    /** Enter degraded mode because of @p why (idempotent). */
+    void degrade(const Status &why);
+    /** One WAL reopen+snapshot attempt; OK = healthy again. */
+    Status attemptRecovery();
+    /** Append the health block to a JSON document under key
+     *  "health". */
+    void healthToJson(obs::JsonWriter &w);
 
     workloads::Workload workload_;
     ServeOptions opts_;
@@ -195,6 +227,13 @@ class ServeCore
     uint64_t frames_seen_ = 0;
     uint64_t deltas_accepted_ = 0;
     uint64_t ticks_ = 0;
+
+    /** Health state machine (WAL availability). */
+    Health health_ = Health::Healthy;
+    std::string last_health_error_;
+    uint32_t ticks_until_retry_ = 0; ///< countdown to the next reopen
+    uint32_t retry_backoff_ = 1;     ///< next wait after a failed reopen
+    uint32_t reopen_failures_ = 0;   ///< consecutive failed reopens
 
     /** Fingerprints as of the last *successful* reschedule. */
     std::map<uint32_t, uint64_t> scheduled_fps_;

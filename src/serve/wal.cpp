@@ -20,7 +20,7 @@ namespace {
 Status
 ioError(const char *op, const std::string &path)
 {
-    return Status::error(ErrorKind::ProfileCorrupt,
+    return Status::error(ErrorKind::IoError,
                          strfmt("wal: %s %s: %s", op, path.c_str(),
                                 strerror(errno)));
 }
@@ -76,22 +76,12 @@ readWholeFile(const std::string &path, std::string &out)
     return Status();
 }
 
-Status
-fsyncDir(const std::string &dir)
-{
-    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-    if (dfd < 0)
-        return ioError("open dir", dir);
-    const int rc = fsync(dfd);
-    ::close(dfd);
-    if (rc != 0)
-        return ioError("fsync dir", dir);
-    return Status();
-}
-
 } // namespace
 
-Wal::Wal(std::string dir) : dir_(std::move(dir)) {}
+Wal::Wal(std::string dir, Vio *vio)
+    : dir_(std::move(dir)),
+      vio_(vio != nullptr ? vio : &Vio::system())
+{}
 
 Wal::~Wal()
 {
@@ -263,13 +253,17 @@ Wal::open(Aggregate &agg, RecoveryInfo &info)
 Status
 Wal::openLiveSegment()
 {
-    if (fd_ >= 0)
+    if (fd_ >= 0) {
         ::close(fd_);
+        fd_ = -1;
+    }
     const std::string path = walPath(live_gen_);
-    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (fd_ < 0)
-        return ioError("open", path);
-    return fsyncDir(dir_);
+    Expected<int> fd =
+        vio_->openFile("wal", path, O_WRONLY | O_CREAT | O_APPEND);
+    if (!fd.ok())
+        return fd.status();
+    fd_ = fd.value();
+    return vio_->fsyncDir("dir", dir_);
 }
 
 Status
@@ -286,19 +280,13 @@ Wal::appendFrameDurable(const std::string &payload)
                    payload.size(), kMaxWalPayload));
     std::string frame;
     appendFrame(frame, payload);
-    size_t off = 0;
-    while (off < frame.size()) {
-        const ssize_t n =
-            ::write(fd_, frame.data() + off, frame.size() - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return ioError("write", walPath(live_gen_));
-        }
-        off += size_t(n);
-    }
-    if (fsync(fd_) != 0)
-        return ioError("fsync", walPath(live_gen_));
+    if (Status st = vio_->writeAll("wal", fd_, frame.data(),
+                                   frame.size(), walPath(live_gen_));
+        !st.ok())
+        return st;
+    if (Status st = vio_->fsyncFile("wal", fd_, walPath(live_gen_));
+        !st.ok())
+        return st;
     ++live_records_;
     return Status();
 }
@@ -345,31 +333,24 @@ Wal::snapshot(const Aggregate &agg)
                 off += n;
             } while (off < blob.size());
         }
-        const int tfd =
-            ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-        if (tfd < 0)
-            return ioError("open", tmp);
-        size_t off = 0;
-        while (off < frame.size()) {
-            const ssize_t n =
-                ::write(tfd, frame.data() + off, frame.size() - off);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                ::close(tfd);
-                return ioError("write", tmp);
-            }
-            off += size_t(n);
+        Expected<int> tfd =
+            vio_->openFile("snap", tmp, O_WRONLY | O_CREAT | O_TRUNC);
+        if (!tfd.ok())
+            return tfd.status();
+        Status st = vio_->writeAll("snap", tfd.value(), frame.data(),
+                                   frame.size(), tmp);
+        if (st.ok())
+            st = vio_->fsyncFile("snap", tfd.value(), tmp);
+        if (!st.ok()) {
+            ::close(tfd.value());
+            return st;
         }
-        if (fsync(tfd) != 0) {
-            ::close(tfd);
-            return ioError("fsync", tmp);
-        }
-        ::close(tfd);
+        if (st = vio_->closeFile("snap", tfd.value(), tmp); !st.ok())
+            return st;
     }
-    if (rename(tmp.c_str(), fin.c_str()) != 0)
-        return ioError("rename", fin);
-    if (Status st = fsyncDir(dir_); !st.ok())
+    if (Status st = vio_->renameFile("snap", tmp, fin); !st.ok())
+        return st;
+    if (Status st = vio_->fsyncDir("dir", dir_); !st.ok())
         return st;
 
     // Rotate the live segment, then garbage-collect superseded files.
@@ -383,7 +364,24 @@ Wal::snapshot(const Aggregate &agg)
     for (uint64_t g : listGens(dir_, "snap"))
         if (g < gen)
             (void)unlink(snapPath(g).c_str());
-    return fsyncDir(dir_);
+    return vio_->fsyncDir("dir", dir_);
+}
+
+Status
+Wal::reopenAndSnapshot(const Aggregate &agg)
+{
+    // The suspect segment's on-disk tail is unknown (a failed write or
+    // fsync may have left a torn frame); drop the fd and supersede the
+    // whole segment with a snapshot of the acked in-memory state.  The
+    // snapshot covers generation live_gen_, so GC inside snapshot()
+    // unlinks the suspect file; a crash before the rename leaves the
+    // old recovery chain intact, and a crash after it replays nothing
+    // from the suspect tail.
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    return snapshot(agg);
 }
 
 } // namespace pathsched::serve

@@ -46,6 +46,7 @@
 
 #include "serve/aggregate.hpp"
 #include "support/status.hpp"
+#include "support/vio.hpp"
 
 namespace pathsched::serve {
 
@@ -65,8 +66,11 @@ struct RecoveryInfo
 class Wal
 {
   public:
-    /** Does not touch the filesystem; call open(). */
-    explicit Wal(std::string dir);
+    /** Does not touch the filesystem; call open().  All durable writes
+     *  go through @p vio (nullptr = the system passthrough); labels:
+     *  "wal" (segment appends), "snap" (snapshot files), "dir"
+     *  (directory fsyncs). */
+    explicit Wal(std::string dir, Vio *vio = nullptr);
     ~Wal();
 
     Wal(const Wal &) = delete;
@@ -94,6 +98,18 @@ class Wal
      */
     Status snapshot(const Aggregate &agg);
 
+    /**
+     * Degraded-mode recovery: abandon the suspect live segment (its
+     * on-disk tail is unknown after a failed write/fsync) and publish
+     * a fresh snapshot of @p agg, which holds exactly the acked state.
+     * The snapshot supersedes every earlier segment — including the
+     * suspect one, which is garbage-collected — and rotates to a new
+     * live segment, so success means the WAL is healthy again.  On
+     * failure the Wal stays closed for appends; callers must not
+     * append until a later retry succeeds.
+     */
+    Status reopenAndSnapshot(const Aggregate &agg);
+
     /** Records appended to the live segment since open()/snapshot(). */
     uint64_t liveRecords() const { return live_records_; }
 
@@ -115,6 +131,7 @@ class Wal
     std::string snapPath(uint64_t gen) const;
 
     std::string dir_;
+    Vio *vio_;
     int fd_ = -1;
     uint64_t live_gen_ = 1;
     uint64_t live_records_ = 0;

@@ -23,6 +23,8 @@ ackCodeName(AckCode code)
         return "rejected";
     case AckCode::Error:
         return "error";
+    case AckCode::Unavailable:
+        return "unavailable";
     }
     return "unknown";
 }
@@ -290,7 +292,7 @@ decodeMessage(const std::string &payload, Message &out)
             !getU8(payload, pos, code) ||
             !getStr(payload, pos, out.text))
             return bad("truncated Ack");
-        if (code > uint8_t(AckCode::Error))
+        if (code > uint8_t(AckCode::Unavailable))
             return bad("unknown Ack code");
         out.ack = AckCode(code);
         break;

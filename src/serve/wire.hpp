@@ -93,6 +93,7 @@ enum class AckCode : uint8_t
     Quarantined = 3,///< client flagged as misbehaving; dropped unread
     Rejected = 4,   ///< delta failed parse/admission checks
     Error = 5,      ///< protocol misuse (e.g. Delta before Hello)
+    Unavailable = 6,///< server degraded (WAL down); retry with backoff
 };
 
 /** Stable display name, e.g. "accepted". */

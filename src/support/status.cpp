@@ -16,6 +16,8 @@ errorKindName(ErrorKind kind)
       case ErrorKind::BudgetExceeded: return "BudgetExceeded";
       case ErrorKind::ProfileCorrupt: return "ProfileCorrupt";
       case ErrorKind::ProfileStale: return "ProfileStale";
+      case ErrorKind::IoError: return "IoError";
+      case ErrorKind::Unavailable: return "Unavailable";
     }
     return "<bad>";
 }
@@ -43,6 +45,10 @@ parseErrorKind(const std::string &token, ErrorKind &out)
         out = ErrorKind::ProfileCorrupt;
     else if (token == "stale" || token == "ProfileStale")
         out = ErrorKind::ProfileStale;
+    else if (token == "io" || token == "IoError")
+        out = ErrorKind::IoError;
+    else if (token == "unavailable" || token == "Unavailable")
+        out = ErrorKind::Unavailable;
     else
         return false;
     return true;

@@ -39,6 +39,8 @@ enum class ErrorKind : uint8_t
     BudgetExceeded,   ///< a resource budget (ops, steps, growth) ran out
     ProfileCorrupt, ///< a profile failed integrity/consistency checks
     ProfileStale,   ///< a profile was collected against a different CFG
+    IoError,        ///< a durable-path I/O operation failed (real or injected)
+    Unavailable,    ///< service temporarily degraded; retry with backoff
 };
 
 /** Every ErrorKind, in declaration order (for taxonomy iteration). */
@@ -48,6 +50,7 @@ inline constexpr ErrorKind kAllErrorKinds[] = {
     ErrorKind::StepLimit,        ErrorKind::Injected,
     ErrorKind::DeadlineExceeded, ErrorKind::BudgetExceeded,
     ErrorKind::ProfileCorrupt,   ErrorKind::ProfileStale,
+    ErrorKind::IoError,          ErrorKind::Unavailable,
 };
 
 /** Stable display name, e.g. "VerifyFailed". */
@@ -55,7 +58,8 @@ const char *errorKindName(ErrorKind kind);
 
 /** Parse a spec-file kind token ("verify", "profile", "schedule",
  *  "output", "steplimit", "injected", "deadline", "budget", "corrupt",
- *  "stale" or an errorKindName); false on an unknown token. */
+ *  "stale", "io", "unavailable" or an errorKindName); false on an
+ *  unknown token. */
 bool parseErrorKind(const std::string &token, ErrorKind &out);
 
 /** Success, or one classified error with a human-readable message. */

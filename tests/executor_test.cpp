@@ -28,6 +28,7 @@
 #include "pipeline/executor.hpp"
 #include "pipeline/pipeline.hpp"
 #include "support/faultinject.hpp"
+#include "support/vio.hpp"
 #include "workloads/workloads.hpp"
 
 namespace pathsched {
@@ -447,6 +448,53 @@ TEST_F(DiskCacheTest, CorruptEntriesAreRejectedAsMisses)
     EXPECT_EQ(reader.stats().corrupt, corrupted);
     EXPECT_EQ(r.exec.cacheHits, 0u);
     EXPECT_EQ(ir::toString(*r.transformed), cold_ir);
+}
+
+TEST_F(DiskCacheTest, DiskFaultDisablesTheTierWithoutChangingOutput)
+{
+    // A mid-run ENOSPC on the cache directory must demote the cache to
+    // memory-only: the pipeline keeps running, produces bit-identical
+    // IR, and never touches the sick disk again.
+    const auto w = workloads::makeByName("wc");
+    PipelineOptions opts;
+    opts.keepTransformed = true;
+
+    // Baseline: no cache at all.
+    std::string plain_ir;
+    {
+        const PipelineResult plain = pipeline::runPipeline(
+            w.program, w.train, w.test, SchedConfig::P4, opts);
+        ASSERT_TRUE(plain.status.ok());
+        plain_ir = ir::toString(*plain.transformed);
+    }
+
+    Vio vio;
+    std::string err;
+    ASSERT_TRUE(vio.parseFaults("path=cache,kind=enospc", err)) << err;
+    StageCache cache(dir_, &vio);
+    opts.executor.cache = &cache;
+    const PipelineResult r = pipeline::runPipeline(
+        w.program, w.train, w.test, SchedConfig::P4, opts);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.outputMatches);
+    EXPECT_TRUE(cache.diskDisabled());
+    EXPECT_GE(cache.stats().diskFailures, 1u);
+    EXPECT_EQ(ir::toString(*r.transformed), plain_ir);
+
+    // The memory tier survives: an in-process rerun hits it.
+    const PipelineResult warm = pipeline::runPipeline(
+        w.program, w.train, w.test, SchedConfig::P4, opts);
+    ASSERT_TRUE(warm.status.ok());
+    EXPECT_GT(warm.exec.cacheHits, 0u);
+    EXPECT_EQ(ir::toString(*warm.transformed), plain_ir);
+
+    // Nothing half-written was left behind on the faulted disk.
+    size_t leftovers = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir_)) {
+        (void)e;
+        ++leftovers;
+    }
+    EXPECT_EQ(leftovers, 0u);
 }
 
 TEST(StageCacheTest, SerializeProcedureRoundTrips)

@@ -57,11 +57,12 @@ TEST(Status, EveryKindNameParsesBack)
         EXPECT_EQ(parsed, k);
         // Canonical names are unique (no two kinds share one).
         for (ErrorKind other : kAllErrorKinds) {
-            if (other != k)
+            if (other != k) {
                 EXPECT_STRNE(errorKindName(k), errorKindName(other));
+            }
         }
     }
-    EXPECT_EQ(n, 10u) << "new ErrorKind added without updating "
+    EXPECT_EQ(n, 12u) << "new ErrorKind added without updating "
                          "kAllErrorKinds or this test";
 
     ErrorKind parsed;
@@ -71,6 +72,10 @@ TEST(Status, EveryKindNameParsesBack)
     EXPECT_EQ(parsed, ErrorKind::DeadlineExceeded);
     EXPECT_TRUE(parseErrorKind("budget", parsed));
     EXPECT_EQ(parsed, ErrorKind::BudgetExceeded);
+    EXPECT_TRUE(parseErrorKind("io", parsed));
+    EXPECT_EQ(parsed, ErrorKind::IoError);
+    EXPECT_TRUE(parseErrorKind("unavailable", parsed));
+    EXPECT_EQ(parsed, ErrorKind::Unavailable);
     EXPECT_FALSE(parseErrorKind("no-such-kind", parsed));
 }
 

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Hostile-disk integration test for pathsched_serve (docs/robustness.md).
+
+Drives the real daemon with a deterministic WAL fsync fault injected via
+--io-inject and asserts the degraded-mode contract end to end:
+
+  1. the first delta hits the injected EIO, is NACKed Unavailable, and
+     the server enters degraded mode (visible in its log);
+  2. the replay client's Unavailable backoff rides over the recovery
+     tick: the whole stream still completes with exit 0 and every delta
+     is admitted exactly once;
+  3. the final status document carries the health block: state is back
+     to healthy, with the degrade/recovery counters to prove the
+     round trip happened;
+  4. nothing acked was lost: a restart over the same state directory
+     recovers to the bit-identical aggregate hash;
+  5. a malformed --io-inject spec is rejected at startup with a
+     diagnostic, not silently disarmed.
+
+Usage: serve_faults_test.py <pathsched_serve> <pathsched_cli>
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SERVE = sys.argv[1]
+CLI = sys.argv[2]
+
+failures = []
+
+
+def check(cond, what):
+    tag = "ok" if cond else "FAIL"
+    print(f"  [{tag}] {what}")
+    if not cond:
+        failures.append(what)
+
+
+def make_corpus(tmp, n):
+    """n identical v2 path-profile dumps; distinct seqs deduplicate."""
+    corpus = os.path.join(tmp, "deltas")
+    os.makedirs(corpus)
+    first = os.path.join(corpus, "d0.txt")
+    r = subprocess.run(
+        [CLI, "--workload", "wc", "--config", "P4",
+         "--dump-paths", first, "--profile-version", "2"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    check(r.returncode == 0, f"profile dump exit 0 (got {r.returncode})")
+    for i in range(1, n):
+        shutil.copy(first, os.path.join(corpus, f"d{i}.txt"))
+    return corpus
+
+
+def start_server(tmp, tag, state, extra):
+    sock = os.path.join(tmp, f"{tag}.sock")
+    log = open(os.path.join(tmp, f"{tag}.log"), "w")
+    proc = subprocess.Popen(
+        [SERVE, "--listen", f"unix:{sock}", "--state", state,
+         "--workload", "wc", "--config", "P4",
+         "--snapshot-every", "2"] + extra,
+        stdout=log, stderr=subprocess.STDOUT)
+    deadline = time.time() + 30
+    while time.time() < deadline and not os.path.exists(sock):
+        if proc.poll() is not None:
+            check(False, f"{tag}: server died at startup "
+                         f"(exit {proc.returncode})")
+            return proc, sock
+        time.sleep(0.01)
+    check(os.path.exists(sock), f"{tag}: server is listening")
+    return proc, sock
+
+
+def replay(sock, corpus, client="fault-test"):
+    return subprocess.run(
+        [SERVE, "--replay", corpus, "--connect", f"unix:{sock}",
+         "--client", client, "--seq-base", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+
+def stop_and_read_status(proc, state, tag):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        check(False, f"{tag}: server did not stop on SIGTERM")
+        return {}
+    status_file = os.path.join(state, "status.json")
+    check(os.path.exists(status_file), f"{tag}: status.json written")
+    with open(status_file) as f:
+        return json.load(f)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus = make_corpus(tmp, 4)
+
+        # --- Malformed spec: refused loudly at startup. ---
+        print("startup: malformed --io-inject is rejected")
+        r = subprocess.run(
+            [SERVE, "--listen", f"unix:{os.path.join(tmp, 'bad.sock')}",
+             "--state", os.path.join(tmp, "bad-state"),
+             "--workload", "wc", "--config", "P4",
+             "--io-inject", "path=wal,kind=sparks"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            timeout=60)
+        check(r.returncode != 0, "bad spec exits nonzero")
+        check("io-inject" in r.stdout,
+              f"bad spec names the flag (got: {r.stdout.strip()!r})")
+
+        # --- Faulted run: one WAL fsync EIO, then recovery. ---
+        # A short epoch drives the recovery tick while the replay
+        # client is still inside its Unavailable backoff (50..750 ms).
+        print("fault: WAL fsync EIO on the first delta, then recover")
+        state = os.path.join(tmp, "state")
+        proc, sock = start_server(
+            tmp, "faulty", state,
+            ["--epoch-ms", "100",
+             "--io-inject", "path=wal,op=fsync,kind=eio,count=1",
+             "--io-inject-seed", "1"])
+        r = replay(sock, corpus)
+        check(r.returncode == 0,
+              f"replay exit 0 despite the fault (got {r.returncode}): "
+              f"{r.stdout}")
+        status = stop_and_read_status(proc, state, "faulty")
+
+        check(status.get("deltasAccepted") == 4,
+              f"all 4 deltas admitted exactly once "
+              f"(got {status.get('deltasAccepted')})")
+        health = status.get("health", {})
+        check(health.get("state") == "healthy",
+              f"health is back to healthy (got {health.get('state')})")
+        check(health.get("degradeEvents", 0) >= 1,
+              f"a degrade event was recorded ({health})")
+        check(health.get("recoveries", 0) >= 1,
+              f"a recovery was recorded ({health})")
+        check(health.get("nackedUnavailable", 0) >= 1,
+              f"the faulted delta was NACKed Unavailable ({health})")
+        with open(os.path.join(tmp, "faulty.log")) as f:
+            log = f.read()
+        check("entering degraded mode" in log,
+              "server log announces degraded mode")
+        check("injected eio" in log,
+              "server log attributes the injected fault")
+
+        # --- Durability: restart recovers the identical aggregate. ---
+        print("restart: recovery over the faulted run's state dir")
+        proc, sock = start_server(
+            tmp, "restarted", state, ["--epoch-ms", "3600000"])
+        recovered = stop_and_read_status(proc, state, "restarted")
+        check(recovered.get("aggregateHash")
+              == status.get("aggregateHash"),
+              f"aggregate hash bit-identical across restart "
+              f"({recovered.get('aggregateHash')} vs "
+              f"{status.get('aggregateHash')})")
+        check(recovered.get("health", {}).get("state") == "healthy",
+              "restarted server is healthy")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) FAILED")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

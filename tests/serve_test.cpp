@@ -1039,5 +1039,199 @@ TEST(ServeMiscTest, ClientIdValidation)
     EXPECT_FALSE(validClientId(std::string(65, 'a')));
 }
 
+// ---------------------------------------------------------------------
+// Degraded-mode health machine: injected disk faults against ServeCore.
+
+TEST_F(ServeCoreTest, WalFaultDegradesNacksRecoversAndLosesNothing)
+{
+    Vio vio;
+    std::string err;
+    ASSERT_TRUE(
+        vio.parseFaults("path=wal,op=fsync,kind=eio,count=1", err))
+        << err;
+    ServeOptions fopts;
+    fopts.vio = &vio;
+    auto faulty = makeCore("faulty", fopts);
+    auto control = makeCore("control");
+    ASSERT_EQ(faulty->health(), Health::Healthy);
+
+    // The injected fsync failure turns the append into an Unavailable
+    // NACK — never a silent ack of a record that may not be durable.
+    EXPECT_EQ(sendDelta(*faulty, "ca", "c1", 1, pathText_),
+              AckCode::Unavailable);
+    EXPECT_EQ(faulty->health(), Health::Degraded);
+    EXPECT_EQ(faulty->deltasAccepted(), 0u);
+
+    // While degraded: reads are served, writes keep NACKing, and the
+    // epoch clock stands still so memory and WAL stay in sync.
+    bool drop = false;
+    auto resp = faulty->handleFrame("ca", encodeStatsReq(), drop);
+    EXPECT_FALSE(drop);
+    ASSERT_EQ(resp.size(), 1u);
+    Message m;
+    ASSERT_TRUE(decodeMessage(resp[0], m).ok());
+    EXPECT_EQ(m.type, MsgType::StatsRep);
+    EXPECT_EQ(sendDelta(*faulty, "ca", "c1", 1, pathText_),
+              AckCode::Unavailable);
+
+    // The tick-driven reopen retries, the fault budget is spent, and
+    // the server snapshots its way back to healthy — then the epoch
+    // advances as usual.
+    ASSERT_TRUE(faulty->tick().ok());
+    EXPECT_EQ(faulty->health(), Health::Healthy);
+    EXPECT_EQ(sendDelta(*faulty, "ca", "c1", 1, pathText_),
+              AckCode::Accepted);
+    EXPECT_GE(faulty->stats().counter("serve.health.degradeEvents"),
+              1u);
+    EXPECT_GE(faulty->stats().counter("serve.health.recoveries"), 1u);
+
+    // The NACK'd attempts were side-effect-free: the recovered server
+    // is bit-identical to a control that saw only tick + the delta.
+    ASSERT_TRUE(control->tick().ok());
+    EXPECT_EQ(sendDelta(*control, "cb", "c1", 1, pathText_),
+              AckCode::Accepted);
+    EXPECT_EQ(faulty->aggregate().serialize(),
+              control->aggregate().serialize());
+
+    // No acked delta lost: kill -9 the recovered server; a clean
+    // restart replays to the same bytes.
+    const std::string pre = faulty->aggregate().serialize();
+    faulty.reset();
+    auto reborn = makeCore("faulty");
+    EXPECT_EQ(reborn->aggregate().serialize(), pre);
+}
+
+TEST_F(ServeCoreTest, RepeatedReopenFailureEscalatesToFailing)
+{
+    // The WAL append fault degrades; the snapshot fault then blocks
+    // every recovery attempt, so the server must escalate to Failing
+    // while still serving reads and NACKing writes.
+    Vio vio;
+    std::string err;
+    ASSERT_TRUE(vio.parseFaults(
+                    "path=wal,op=fsync,kind=eio,count=1;"
+                    "path=snap,op=fsync,kind=fsync-fail",
+                    err))
+        << err;
+    ServeOptions fopts;
+    fopts.vio = &vio;
+    fopts.reopenBackoffCapTicks = 1;
+    fopts.failingAfterRetries = 2;
+    auto core = makeCore("failing", fopts);
+
+    EXPECT_EQ(sendDelta(*core, "ca", "c1", 1, pathText_),
+              AckCode::Unavailable);
+    EXPECT_EQ(core->health(), Health::Degraded);
+    const uint64_t epochBefore = core->aggregate().epoch();
+    // Odd ticks attempt the reopen (and fail); even ticks burn down
+    // the one-tick backoff and legitimately return OK.
+    int failedTicks = 0;
+    for (int i = 0; i < 6; ++i)
+        if (!core->tick().ok())
+            ++failedTicks;
+    EXPECT_GE(failedTicks, 3);
+    EXPECT_EQ(core->health(), Health::Failing);
+    // Time stood still: no epoch advanced while the WAL was down.
+    EXPECT_EQ(core->aggregate().epoch(), epochBefore);
+    EXPECT_GE(core->stats().counter("serve.health.reopenFailures"),
+              2u);
+    // Still answering reads, still refusing writes.
+    EXPECT_EQ(sendDelta(*core, "ca", "c1", 1, pathText_),
+              AckCode::Unavailable);
+    bool drop = false;
+    auto resp = core->handleFrame("ca", encodeStatsReq(), drop);
+    EXPECT_FALSE(drop);
+    ASSERT_EQ(resp.size(), 1u);
+}
+
+TEST_F(ServeCoreTest, HealthBlockIsInStatusAndReportDocuments)
+{
+    Vio vio;
+    std::string err;
+    ASSERT_TRUE(
+        vio.parseFaults("path=wal,op=fsync,kind=eio,count=1", err))
+        << err;
+    ServeOptions fopts;
+    fopts.vio = &vio;
+    auto core = makeCore("s", fopts);
+    EXPECT_EQ(sendDelta(*core, "ca", "c1", 1, pathText_),
+              AckCode::Unavailable);
+    ASSERT_TRUE(core->tick().ok());
+    EXPECT_EQ(sendDelta(*core, "ca", "c1", 1, pathText_),
+              AckCode::Accepted);
+
+    const std::string status = core->statusJson();
+    EXPECT_NE(status.find("\"health\""), std::string::npos);
+    EXPECT_NE(status.find("\"healthy\""), std::string::npos);
+    EXPECT_NE(status.find("\"degradeEvents\""), std::string::npos);
+    EXPECT_NE(status.find("\"recoveries\""), std::string::npos);
+    EXPECT_NE(status.find("\"nackedUnavailable\""), std::string::npos);
+
+    const std::string report = core->reportJson();
+    EXPECT_NE(report.find("\"health\""), std::string::npos);
+    EXPECT_NE(report.find("\"runs\""), std::string::npos);
+    EXPECT_EQ(core->stats().counter("serve.health.state"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Torn-tail byte sweep: recovery at every truncation offset.
+
+TEST_F(WalTest, TornTailSweepRecoversThePrefixAtEveryByteOffset)
+{
+    Rng rng(11);
+    Aggregate expected; // state after all but the final record
+    std::string expectedBytes;
+    uint64_t sizeBefore = 0, sizeAfter = 0;
+    const std::string walFile = dir_ + "/wal.1.bin";
+    {
+        Wal wal(dir_);
+        Aggregate scratch;
+        RecoveryInfo info;
+        ASSERT_TRUE(wal.open(scratch, info).ok());
+        const uint64_t kRecords = 4;
+        for (uint64_t s = 1; s <= kRecords; ++s) {
+            const AdmittedDelta d = randomDelta(rng, "c", s);
+            if (s == kRecords) {
+                expectedBytes = expected.serialize();
+                sizeBefore = std::filesystem::file_size(walFile);
+            } else {
+                expected.apply(d);
+            }
+            ASSERT_TRUE(wal.appendAdmitted(d).ok());
+        }
+        sizeAfter = std::filesystem::file_size(walFile);
+    }
+    ASSERT_GT(sizeAfter, sizeBefore);
+    std::string full;
+    {
+        std::ifstream in(walFile, std::ios::binary);
+        full.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    }
+    ASSERT_EQ(full.size(), sizeAfter);
+
+    const std::string sweepDir = dir_ + "_sweep";
+    std::filesystem::remove_all(sweepDir);
+    std::filesystem::create_directories(sweepDir);
+    for (uint64_t off = sizeBefore; off < sizeAfter; ++off) {
+        {
+            std::ofstream out(sweepDir + "/wal.1.bin",
+                              std::ios::binary | std::ios::trunc);
+            out.write(full.data(), std::streamsize(off));
+        }
+        Wal wal(sweepDir);
+        Aggregate agg;
+        RecoveryInfo info;
+        ASSERT_TRUE(wal.open(agg, info).ok()) << "offset " << off;
+        // The invariant at every byte: the torn record contributes
+        // nothing — recovery lands on exactly the pre-record state.
+        ASSERT_EQ(agg.serialize(), expectedBytes) << "offset " << off;
+        // A cut at the record boundary is a clean end, not a tear.
+        ASSERT_EQ(info.tornSegments, off == sizeBefore ? 0u : 1u)
+            << "offset " << off;
+    }
+    std::filesystem::remove_all(sweepDir);
+}
+
 } // namespace
 } // namespace pathsched::serve

@@ -22,10 +22,20 @@
  * journal never ends in a torn line), and the runner exits 4 — a rerun
  * with --resume picks up exactly the unfinished tasks.
  *
+ * Journal writes go through the vio seam (support/vio.hpp, label
+ * "journal") and every write and fsync result is checked: if the
+ * journal itself cannot be made durable, the runner kills its
+ * children, best-effort appends a {"event":"suite-abort",
+ * "reason":"io-error"} record, and exits 5 — it never keeps running
+ * with an unsynced journal tail that a crash would silently lose.
+ * The journal stays resumable: --resume re-runs whatever has no
+ * durable "done" line.
+ *
  * Exit codes: 0 = every task ok, 1 = user/configuration error,
  * 2 = every task completed but some degraded (child exit 2),
  * 3 = at least one task failed permanently (all attempts exhausted),
- * 4 = interrupted by SIGTERM/SIGINT (journal clean; resume to finish).
+ * 4 = interrupted by SIGTERM/SIGINT (journal clean; resume to finish),
+ * 5 = journal I/O failure (suite aborted; resume to finish).
  */
 
 #include <fcntl.h>
@@ -49,6 +59,7 @@
 #include "support/hash.hpp"
 #include "support/logging.hpp"
 #include "support/strutil.hpp"
+#include "support/vio.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace pathsched;
@@ -87,11 +98,15 @@ usage()
         "  --cache-dir DIR         forward --cache-dir DIR so all\n"
         "                          children share one on-disk stage\n"
         "                          cache\n"
+        "  --io-inject SPEC        deterministic disk-fault injection\n"
+        "                          on the journal (docs/robustness.md)\n"
+        "  --io-inject-seed N      seed for prob= fault selectors\n"
         "  everything after '--' is passed through to pathsched_cli\n"
         "\n"
         "exit codes: 0 all ok; 1 user error; 2 completed with\n"
         "degradations; 3 at least one task failed permanently;\n"
-        "4 interrupted (SIGTERM/SIGINT; rerun with --resume)\n");
+        "4 interrupted (SIGTERM/SIGINT; rerun with --resume);\n"
+        "5 journal I/O failure (rerun with --resume)\n");
 }
 
 std::vector<std::string>
@@ -218,46 +233,57 @@ struct Running
     bool killed = false; ///< we timed it out with SIGKILL
 };
 
-/** Append-only, crash-safe journal: one flushed+fsync'd line each. */
+/** Append-only, crash-safe journal: one written+fsync'd line each,
+ *  through the vio seam (label "journal") so both results are typed
+ *  and hostile disks are injectable. */
 class Journal
 {
   public:
-    explicit Journal(const std::string &path) : path_(path) {}
+    Journal(const std::string &path, Vio *vio)
+        : path_(path), vio_(vio != nullptr ? vio : &Vio::system())
+    {}
 
     void
     open()
     {
-        fp_ = std::fopen(path_.c_str(), "a");
-        if (fp_ == nullptr)
+        Expected<int> fd = vio_->openFile(
+            "journal", path_, O_WRONLY | O_CREAT | O_APPEND);
+        if (!fd.ok())
             fatal("cannot open journal '%s': %s", path_.c_str(),
-                  std::strerror(errno));
+                  fd.status().message().c_str());
+        fd_ = fd.value();
     }
 
     ~Journal()
     {
-        if (fp_ != nullptr)
-            std::fclose(fp_);
+        if (fd_ >= 0)
+            ::close(fd_);
     }
 
-    void
+    /** Append one line durably.  A non-OK result means the line may
+     *  not be on disk — the caller must stop recording side effects. */
+    [[nodiscard]] Status
     line(const std::string &json)
     {
         // Each line carries its own CRC so a torn write (power loss,
         // SIGKILL mid-write) is detectable on resume.
-        const std::string checked = withCrc(json);
-        std::fputs(checked.c_str(), fp_);
-        std::fputc('\n', fp_);
-        std::fflush(fp_);
+        std::string checked = withCrc(json);
+        checked += '\n';
+        if (Status st = vio_->writeAll("journal", fd_, checked.data(),
+                                       checked.size(), path_);
+            !st.ok())
+            return st;
         // Survive SIGKILL of this runner: the line must be on disk
         // before the task's side effects are considered recorded.
-        fsync(fileno(fp_));
+        return vio_->fsyncFile("journal", fd_, path_);
     }
 
     const std::string &path() const { return path_; }
 
   private:
     std::string path_;
-    std::FILE *fp_ = nullptr;
+    Vio *vio_;
+    int fd_ = -1;
 };
 
 uint64_t
@@ -447,6 +473,8 @@ main(int argc, char **argv)
     std::string threads_arg;
     std::string exec_policy_arg;
     std::string cache_dir_arg;
+    std::string io_inject;
+    uint64_t io_inject_seed = 0;
     std::vector<std::string> passthrough;
 
     for (int i = 1; i < argc; ++i) {
@@ -484,6 +512,10 @@ main(int argc, char **argv)
             exec_policy_arg = next();
         } else if (arg == "--cache-dir") {
             cache_dir_arg = next();
+        } else if (arg == "--io-inject") {
+            io_inject = next();
+        } else if (arg == "--io-inject-seed") {
+            io_inject_seed = std::stoull(next());
         } else if (arg == "--") {
             for (++i; i < argc; ++i)
                 passthrough.push_back(argv[i]);
@@ -552,9 +584,55 @@ main(int argc, char **argv)
         }
     }
 
-    Journal journal(journal_path);
+    Vio vio(io_inject_seed);
+    if (!io_inject.empty()) {
+        std::string err;
+        if (!vio.parseFaults(io_inject, err))
+            fatal("bad --io-inject: %s", err.c_str());
+    }
+
+    Journal journal(journal_path, &vio);
     journal.open();
-    journal.line(strfmt("{\"schema\":\"%s\",\"event\":\"suite-start\","
+
+    const int max_attempts = retries + 1;
+    std::vector<Running> running;
+    installStopHandlers();
+
+    // A journal line that cannot be made durable ends the suite: the
+    // runner must never keep spawning work whose transitions a crash
+    // would silently lose.  Kill and reap the children, best-effort
+    // journal the reason (the fault may be transient or injected with
+    // a count), and exit with the distinct code.  The journal stays
+    // resumable — whatever has no durable "done" re-runs.
+    auto journalWrite = [&](const std::string &json) {
+        Status st = journal.line(json);
+        if (st.ok())
+            return;
+        for (const auto &r : running)
+            kill(r.pid, SIGKILL);
+        for (const auto &r : running) {
+            int wstatus = 0;
+            waitpid(r.pid, &wstatus, 0);
+        }
+        size_t pending = 0;
+        for (const auto &t : tasks)
+            if (!t.done)
+                ++pending;
+        (void)journal.line(strfmt(
+            "{\"event\":\"suite-abort\",\"reason\":\"io-error\","
+            "\"error\":\"%s\",\"ts\":%llu,\"killed\":%zu,"
+            "\"pending\":%zu}",
+            jsonEscape(st.toString()).c_str(),
+            (unsigned long long)epochSeconds(), running.size(),
+            pending));
+        std::fprintf(stderr,
+                     "journal write failed: %s; killed %zu task(s), "
+                     "%zu pending; rerun with --resume\n",
+                     st.toString().c_str(), running.size(), pending);
+        std::exit(5);
+    };
+
+    journalWrite(strfmt("{\"schema\":\"%s\",\"event\":\"suite-start\","
                         "\"ts\":%llu,\"tasks\":%zu,\"skipped\":%zu,"
                         "\"resume\":%s,\"journalCorrupt\":%zu}",
                         kJournalSchema,
@@ -567,14 +645,10 @@ main(int argc, char **argv)
                      "resume; affected tasks will re-run\n",
                      corrupt_lines);
 
-    const int max_attempts = retries + 1;
-    std::vector<Running> running;
-    installStopHandlers();
-
     auto launch = [&](size_t idx) {
         Task &t = tasks[idx];
         ++t.attempts;
-        journal.line(strfmt(
+        journalWrite(strfmt(
             "{\"event\":\"start\",\"task\":\"%s\",\"attempt\":%d,"
             "\"ts\":%llu}",
             jsonEscape(t.name()).c_str(), t.attempts,
@@ -670,7 +744,7 @@ main(int argc, char **argv)
                         (unsigned long long)es.cacheHits,
                         (unsigned long long)es.cacheMisses);
             }
-            journal.line(strfmt(
+            journalWrite(strfmt(
                 "{\"event\":\"done\",\"task\":\"%s\",\"attempt\":%d,"
                 "\"outcome\":\"%s\",\"exit\":%d,\"ms\":%.1f,"
                 "\"ts\":%llu%s}",
@@ -717,7 +791,7 @@ main(int argc, char **argv)
         for (const auto &r : running) {
             int wstatus = 0;
             waitpid(r.pid, &wstatus, 0);
-            journal.line(strfmt(
+            journalWrite(strfmt(
                 "{\"event\":\"done\",\"task\":\"%s\",\"attempt\":%d,"
                 "\"outcome\":\"aborted\",\"exit\":-1,\"ts\":%llu}",
                 jsonEscape(tasks[r.taskIdx].name()).c_str(),
@@ -728,7 +802,7 @@ main(int argc, char **argv)
         for (const auto &t : tasks)
             if (!t.done)
                 ++pending;
-        journal.line(strfmt(
+        journalWrite(strfmt(
             "{\"event\":\"suite-abort\",\"signal\":%d,\"ts\":%llu,"
             "\"killed\":%zu,\"pending\":%zu}",
             int(g_stop_signal), (unsigned long long)epochSeconds(),
@@ -749,7 +823,7 @@ main(int argc, char **argv)
         else
             ++n_failed;
     }
-    journal.line(strfmt(
+    journalWrite(strfmt(
         "{\"event\":\"suite-end\",\"ts\":%llu,\"ok\":%zu,"
         "\"degraded\":%zu,\"failed\":%zu,\"skipped\":%zu}",
         (unsigned long long)epochSeconds(), n_ok, n_degraded, n_failed,

@@ -47,6 +47,7 @@
 #include "serve/socket.hpp"
 #include "support/logging.hpp"
 #include "support/strutil.hpp"
+#include "support/vio.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace pathsched;
@@ -86,6 +87,10 @@ usage()
         "  --status-out FILE       write status JSON on exit (default\n"
         "                          <state>/status.json)\n"
         "  --report-out FILE       also write the v1 pipeline report\n"
+        "  --io-inject SPEC        deterministic disk-fault injection\n"
+        "                          (docs/robustness.md), e.g.\n"
+        "                          path=wal,op=fsync,kind=eio,count=2\n"
+        "  --io-inject-seed N      seed for prob= fault selectors\n"
         "\n"
         "replay options:\n"
         "  --client ID             client id ([A-Za-z0-9_-]{1,64})\n"
@@ -134,13 +139,17 @@ parseConfig(const std::string &name, pipeline::SchedConfig &out)
 }
 
 bool
-writeTextFile(const std::string &path, const std::string &text)
+writeDurableFile(Vio *vio, const char *label, const std::string &path,
+                 const std::string &text)
 {
-    std::ofstream f(path, std::ios::binary | std::ios::trunc);
-    if (!f)
+    // Temp-file + fsync + rename, like snapshots: a crash mid-write
+    // leaves the previous status/report intact, never a torn tail.
+    Status st = atomicWriteFile(vio, label, path, text);
+    if (!st.ok()) {
+        warn("serve: %s", st.toString().c_str());
         return false;
-    f << text;
-    return bool(f.flush());
+    }
+    return true;
 }
 
 int
@@ -187,21 +196,23 @@ runServe(const std::string &listen, const std::string &stateDir,
            listen.c_str(), workloadName.c_str(), configName.c_str());
 
     Status st = serve::runSocketLoop(core, ep, lopts);
-    if (!st.ok()) {
+    if (!st.ok())
         std::fprintf(stderr, "serve loop failed: %s\n",
                      st.toString().c_str());
-        return 1;
-    }
+    // Write the exit outputs even after a degraded stop: status.json's
+    // health block is exactly what an operator needs to diagnose it.
     const std::string statusPath =
         statusOut.empty() ? stateDir + "/status.json" : statusOut;
-    if (!writeTextFile(statusPath, core.statusJson()))
+    if (!writeDurableFile(sopts.vio, "status", statusPath,
+                          core.statusJson()))
         warn("serve: could not write %s", statusPath.c_str());
     if (!reportOut.empty() &&
-        !writeTextFile(reportOut, core.reportJson()))
+        !writeDurableFile(sopts.vio, "status", reportOut,
+                          core.reportJson()))
         warn("serve: could not write %s", reportOut.c_str());
     if (!scheduleOut.empty() && !core.writeScheduleBlob(scheduleOut))
         warn("serve: no schedule to write to %s", scheduleOut.c_str());
-    return 0;
+    return st.ok() ? 0 : 1;
 }
 
 int
@@ -296,7 +307,8 @@ main(int argc, char **argv)
     std::string listen, stateDir, replayDir, connect, clientId;
     std::string workloadName = "wc", configName = "P4";
     std::string kindArg, scheduleOut, statusOut, reportOut;
-    std::string cacheDir;
+    std::string cacheDir, ioInject;
+    uint64_t ioInjectSeed = 0;
     uint64_t seqBase = 1, tickEvery = 0;
     bool flushAtEnd = false;
     serve::ServeOptions sopts;
@@ -365,6 +377,10 @@ main(int argc, char **argv)
             statusOut = needValue(i, "--status-out");
         } else if (arg == "--report-out") {
             reportOut = needValue(i, "--report-out");
+        } else if (arg == "--io-inject") {
+            ioInject = needValue(i, "--io-inject");
+        } else if (arg == "--io-inject-seed") {
+            ioInjectSeed = needU64(i, "--io-inject-seed");
         } else if (arg == "--replay") {
             replayDir = needValue(i, "--replay");
         } else if (arg == "--connect") {
@@ -411,6 +427,15 @@ main(int argc, char **argv)
             errno != EEXIST)
             fatal("cannot create --cache-dir '%s'", cacheDir.c_str());
         sopts.cacheDir = cacheDir;
+        // The injector must outlive the ServeCore inside runServe, so
+        // it lives here rather than in the flag loop.
+        Vio vio(ioInjectSeed);
+        if (!ioInject.empty()) {
+            std::string err;
+            if (!vio.parseFaults(ioInject, err))
+                fatal("bad --io-inject: %s", err.c_str());
+            sopts.vio = &vio;
+        }
         return runServe(listen, stateDir, workloadName, configName,
                         sopts, lopts, scheduleOut, statusOut,
                         reportOut);
