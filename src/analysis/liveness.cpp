@@ -6,6 +6,28 @@ using ir::BlockId;
 using ir::kNoReg;
 using ir::RegId;
 
+namespace {
+
+/**
+ * One way control leaves a block: the targets of a (possibly mid-block)
+ * branch, jmp, or the implicit end of a Ret, together with the
+ * registers defined in the block strictly before that point.
+ *
+ * With superblocks a block can be left part-way through, so the classic
+ * summary `liveIn = use ∪ (liveOut − def)` is wrong: a register defined
+ * only *after* a side exit does not shadow the in-flight value that the
+ * exit path still reads (the def never executes on that path).  Each
+ * exit therefore contributes its targets' live-in minus only the defs
+ * that precede it.
+ */
+struct ExitTerm
+{
+    std::vector<BlockId> targets;
+    BitVec defsBefore;
+};
+
+} // namespace
+
 Liveness::Liveness(const ir::Procedure &proc)
 {
     const size_t n = proc.blocks.size();
@@ -13,45 +35,59 @@ Liveness::Liveness(const ir::Procedure &proc)
     liveIn_.assign(n, BitVec(nregs));
     liveOut_.assign(n, BitVec(nregs));
 
-    // use[b]: registers read before any write in b.
-    // def[b]: registers written in b.
-    //
-    // A mid-block exit branch in a superblock makes registers live at the
-    // exit target observable part-way through the block.  For block-level
-    // sets this is conservatively handled below by folding every
-    // successor's live-in into liveOut (exits are successors), and the
-    // in-block upward exposure is exact because exit branches only read.
-    std::vector<BitVec> use(n, BitVec(nregs)), def(n, BitVec(nregs));
+    // use[b]: registers read before any write in b (branch conditions
+    // and ret operands are plain reads and land here too).
+    std::vector<BitVec> use(n, BitVec(nregs));
+    std::vector<std::vector<ExitTerm>> exits(n);
     std::vector<RegId> srcs;
     for (BlockId b = 0; b < n; ++b) {
+        BitVec defs(nregs);
         for (const auto &ins : proc.blocks[b].instrs) {
             ins.sources(srcs);
             for (RegId r : srcs) {
-                if (!def[b].test(r))
+                if (!defs.test(r))
                     use[b].set(r);
             }
+            if (ins.isControlFlow()) {
+                ExitTerm e;
+                if (ins.isBranch()) {
+                    e.targets.push_back(ins.target0);
+                    if (ins.target1 != ir::kNoBlock)
+                        e.targets.push_back(ins.target1);
+                } else if (ins.op == ir::Opcode::Jmp) {
+                    e.targets.push_back(ins.target0);
+                }
+                // Ret contributes an empty-target term: nothing is live
+                // past the end of the program.
+                e.defsBefore = defs;
+                exits[b].push_back(std::move(e));
+            }
             if (ins.dst != kNoReg)
-                def[b].set(ins.dst);
+                defs.set(ins.dst);
         }
     }
-
-    std::vector<std::vector<BlockId>> succs(n);
-    for (BlockId b = 0; b < n; ++b)
-        ir::successorsOf(proc.blocks[b], succs[b]);
 
     bool changed = true;
     while (changed) {
         changed = false;
         for (size_t i = n; i-- > 0;) {
             const BlockId b = BlockId(i);
+            // Every path out of b goes through some exit, so live-in is
+            // the plain upward-exposed reads plus, per exit, whatever
+            // the exit's targets need that b has not yet redefined at
+            // that point.
             BitVec out(nregs);
-            for (BlockId s : succs[b])
-                out.unionWith(liveIn_[s]);
-            BitVec in = out;
-            in.subtract(def[b]);
-            in.unionWith(use[b]);
+            BitVec in = use[b];
+            for (const ExitTerm &e : exits[b]) {
+                BitVec flow(nregs);
+                for (BlockId s : e.targets)
+                    flow.unionWith(liveIn_[s]);
+                out.unionWith(flow);
+                flow.subtract(e.defsBefore);
+                in.unionWith(flow);
+            }
             if (!(out == liveOut_[b])) {
-                liveOut_[b] = out;
+                liveOut_[b] = std::move(out);
                 changed = true;
             }
             if (!(in == liveIn_[b])) {

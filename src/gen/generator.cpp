@@ -1,0 +1,702 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+
+#include "ir/builder.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/strutil.hpp"
+
+namespace pathsched::gen {
+
+using ir::BlockId;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::ProcId;
+using ir::RegId;
+
+namespace {
+
+const Opcode kAluOps[] = {
+    Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And, Opcode::Or,
+    Opcode::Xor, Opcode::Shl, Opcode::Shr, Opcode::CmpEq, Opcode::CmpNe,
+    Opcode::CmpLt, Opcode::CmpLe, Opcode::CmpGt, Opcode::CmpGe,
+    Opcode::Div, Opcode::Rem,
+};
+
+/** Skeleton nodes per procedure: bounds IR size however the density
+ *  knobs conspire (each statement lowers to a handful of ops). */
+constexpr uint32_t kNodeBudget = 320;
+
+/** Ceiling on the static step bound; specs whose nesting would exceed
+ *  it are normalized (trip halving, then call thinning) to fit, so one
+ *  oracle run can never take unbounded time. */
+constexpr uint64_t kMaxGenSteps = 250'000;
+
+/** Saturation cap well above kMaxGenSteps but far from u64 overflow. */
+constexpr uint64_t kBoundCap = 1ULL << 50;
+
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    const uint64_t s = a + b;
+    return (s < a || s > kBoundCap) ? kBoundCap : s;
+}
+
+uint64_t
+satMul(uint64_t a, uint64_t b)
+{
+    if (a != 0 && b > kBoundCap / a)
+        return kBoundCap;
+    return std::min(a * b, kBoundCap);
+}
+
+/** splitmix64-style stream splitter: one independent RNG stream per
+ *  (seed, salt), so editing one procedure never perturbs another. */
+uint64_t
+mix(uint64_t seed, uint64_t salt)
+{
+    uint64_t x = seed ^ (0x9E3779B97F4A7C15ULL * (salt + 1));
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Branch pattern of one conditional (subset of BranchKind). */
+enum Pattern : uint8_t
+{
+    kPatRandom = 0,
+    kPatTttf = 1,
+    kPatPhased = 2,
+    kPatCorr = 3,
+};
+
+/** One skeleton statement: every random draw it may need, whatever its
+ *  kind — uniform draw counts keep the per-procedure streams simple. */
+struct Stmt
+{
+    enum class Kind { Alu, Load, Store, Emit, Call, If, Loop };
+
+    Kind kind = Kind::Alu;
+    uint32_t id = 0; ///< preorder id within the procedure
+    uint32_t opIdx = 0;
+    bool useImm = false;
+    bool overwrite = false;
+    int64_t imm = 0;
+    uint64_t pickA = 0, pickB = 0, pickC = 0; ///< var-pool picks (raw)
+    uint64_t slot = 0;     ///< pool slot replaced when the pool is full
+    uint64_t offset = 0;   ///< memory offset (raw; mod memWords)
+    uint64_t calleePick = 0;
+    uint32_t trips = 1;
+    uint8_t pattern = kPatRandom;
+    std::vector<Stmt> a; ///< then-arm / loop body
+    std::vector<Stmt> b; ///< else-arm
+};
+
+struct ProcSkel
+{
+    uint32_t nparams = 0;
+    int64_t consts[3] = {0, 0, 0};
+    uint64_t retPick = 0;
+    std::vector<Stmt> body;
+    uint32_t nodeCount = 0;
+};
+
+struct Skeleton
+{
+    std::vector<ProcSkel> procs; ///< index spec.procs is main
+};
+
+const char *
+stmtKindName(Stmt::Kind k)
+{
+    switch (k) {
+      case Stmt::Kind::Alu:   return "alu";
+      case Stmt::Kind::Load:  return "load";
+      case Stmt::Kind::Store: return "store";
+      case Stmt::Kind::Emit:  return "emit";
+      case Stmt::Kind::Call:  return "call";
+      case Stmt::Kind::If:    return "if";
+      case Stmt::Kind::Loop:  return "loop";
+    }
+    return "?";
+}
+
+/** Builds one procedure's skeleton from its private RNG stream. */
+class SkeletonBuilder
+{
+  public:
+    SkeletonBuilder(const GenSpec &spec, uint32_t procIdx)
+        : spec_(spec), rng_(mix(spec.seed, procIdx)),
+          callable_(procIdx < spec.procs ? procIdx : spec.procs)
+    {}
+
+    ProcSkel
+    run()
+    {
+        ProcSkel p;
+        p.nparams = uint32_t(rng_.below(3));
+        for (int64_t &c : p.consts)
+            c = rng_.range(-20, 20);
+        p.retPick = rng_.next();
+        buildRegion(0, 0, p);
+        p.body = std::move(region_);
+        p.nodeCount = nextId_;
+        return p;
+    }
+
+  private:
+    void
+    buildRegion(uint32_t depth, uint32_t loopDepth, ProcSkel &p)
+    {
+        std::vector<Stmt> out;
+        const uint64_t n = 1 + rng_.below(spec_.stmts);
+        for (uint64_t s = 0; s < n; ++s)
+            out.push_back(buildStmt(depth, loopDepth, p));
+        // The enclosing frame decides where the region lands.
+        region_ = std::move(out);
+    }
+
+    Stmt
+    buildStmt(uint32_t depth, uint32_t loopDepth, ProcSkel &p)
+    {
+        Stmt s;
+        s.id = nextId_++;
+        const double roll = rng_.uniform();
+        s.opIdx = uint32_t(rng_.below(std::size(kAluOps)));
+        s.useImm = rng_.chance(0.4);
+        s.overwrite = rng_.chance(0.3);
+        s.imm = rng_.range(-32, 32);
+        s.pickA = rng_.next();
+        s.pickB = rng_.next();
+        s.pickC = rng_.next();
+        s.slot = rng_.next();
+        s.offset = rng_.next();
+        s.calleePick = rng_.next();
+        s.trips = uint32_t(1 + rng_.below(spec_.maxTrips));
+        s.pattern = patternFor();
+
+        double t = spec_.callDensity;
+        const bool compoundOk =
+            depth < spec_.depth && nextId_ + 2 < kNodeBudget;
+        if (roll < t && callable_ > 0) {
+            s.kind = Stmt::Kind::Call;
+        } else if (roll < (t += spec_.loadDensity)) {
+            s.kind = Stmt::Kind::Load;
+        } else if (roll < (t += spec_.storeDensity)) {
+            s.kind = Stmt::Kind::Store;
+        } else if (roll < (t += spec_.emitDensity)) {
+            s.kind = Stmt::Kind::Emit;
+        } else if (roll < (t += spec_.ifDensity) && compoundOk) {
+            s.kind = Stmt::Kind::If;
+            buildRegion(depth + 1, loopDepth, p);
+            s.a = std::move(region_);
+            buildRegion(depth + 1, loopDepth, p);
+            s.b = std::move(region_);
+        } else if (roll < (t += spec_.loopDensity) && compoundOk &&
+                   loopDepth < spec_.loopDepth) {
+            s.kind = Stmt::Kind::Loop;
+            buildRegion(depth + 1, loopDepth + 1, p);
+            s.a = std::move(region_);
+        } else {
+            s.kind = Stmt::Kind::Alu;
+        }
+        return s;
+    }
+
+    uint8_t
+    patternFor()
+    {
+        // Draw unconditionally so the stream shape is kind-independent.
+        const uint8_t mixed = uint8_t(rng_.below(4));
+        switch (spec_.branch) {
+          case BranchKind::Random:     return kPatRandom;
+          case BranchKind::Tttf:       return kPatTttf;
+          case BranchKind::Phased:     return kPatPhased;
+          case BranchKind::Correlated: return kPatCorr;
+          case BranchKind::Mixed:      return mixed;
+        }
+        return kPatRandom;
+    }
+
+    const GenSpec &spec_;
+    Rng rng_;
+    uint32_t callable_;
+    uint32_t nextId_ = 0;
+    std::vector<Stmt> region_;
+};
+
+Skeleton
+buildSkeleton(const GenSpec &spec)
+{
+    Skeleton sk;
+    for (uint32_t k = 0; k <= spec.procs; ++k)
+        sk.procs.push_back(SkeletonBuilder(spec, k).run());
+    return sk;
+}
+
+/** Edit lookup over one spec, hot in lowering and bound computation. */
+class Edits
+{
+  public:
+    explicit Edits(const GenSpec &spec) : spec_(spec) {}
+
+    bool
+    stmtDropped(uint32_t proc, uint32_t node) const
+    {
+        for (const Edit &e : spec_.edits) {
+            if (e.kind == Edit::Kind::DropStmt && e.proc == proc &&
+                e.node == node)
+                return true;
+        }
+        return false;
+    }
+
+    /** Effective trip count: SetTrips overrides win; otherwise the
+     *  drawn count scaled by the bound-normalization shift. */
+    uint32_t
+    tripsFor(uint32_t proc, const Stmt &s, uint32_t tripShift) const
+    {
+        for (const Edit &e : spec_.edits) {
+            if (e.kind == Edit::Kind::SetTrips && e.proc == proc &&
+                e.node == s.id)
+                return std::clamp(e.trips, 1u, 64u);
+        }
+        return std::max(1u, s.trips >> tripShift);
+    }
+
+  private:
+    const GenSpec &spec_;
+};
+
+/**
+ * Static step bound of one procedure, mirroring the lowering below
+ * statement for statement (same edit skips, same call-quota order), so
+ * the bound is sound for the program actually emitted.
+ */
+class BoundCalc
+{
+  public:
+    BoundCalc(const GenSpec &spec, const Skeleton &skel,
+              uint32_t tripShift, uint32_t callQuota)
+        : spec_(spec), skel_(skel), edits_(spec), tripShift_(tripShift),
+          callQuota_(callQuota)
+    {}
+
+    /** Bound for the whole program (= one run of main). */
+    uint64_t
+    program()
+    {
+        bounds_.clear();
+        for (uint32_t k = 0; k <= spec_.procs; ++k)
+            bounds_.push_back(proc(k));
+        return bounds_.back();
+    }
+
+  private:
+    uint64_t
+    proc(uint32_t k)
+    {
+        if (spec_.procDropped(k))
+            return 2; // ldi + ret
+        callsUsed_ = 0;
+        // 3 constants + memory base + phase counter + ret.
+        return satAdd(6, region(k, skel_.procs[k].body));
+    }
+
+    uint64_t
+    region(uint32_t k, const std::vector<Stmt> &stmts)
+    {
+        uint64_t c = 0;
+        for (const Stmt &s : stmts)
+            c = satAdd(c, stmt(k, s));
+        return c;
+    }
+
+    uint64_t
+    stmt(uint32_t k, const Stmt &s)
+    {
+        if (edits_.stmtDropped(k, s.id))
+            return 0;
+        switch (s.kind) {
+          case Stmt::Kind::Alu:
+          case Stmt::Kind::Load:
+          case Stmt::Kind::Store:
+          case Stmt::Kind::Emit:
+            return 1;
+          case Stmt::Kind::Call:
+            if (callsUsed_ >= callQuota_)
+                return 1; // lowered as plain ALU
+            ++callsUsed_;
+            return satAdd(1, bounds_[s.calleePick %
+                                     (k < spec_.procs ? k : spec_.procs)]);
+          case Stmt::Kind::If:
+            // cond (<= 3 ops) + brnz + both arms + their jmps.
+            return satAdd(6, satAdd(region(k, s.a), region(k, s.b)));
+          case Stmt::Kind::Loop: {
+            const uint64_t per =
+                satAdd(region(k, s.a), 3); // body + sub/cmp/brnz
+            return satAdd(2, satMul(edits_.tripsFor(k, s, tripShift_),
+                                    per));
+          }
+        }
+        return 1;
+    }
+
+    const GenSpec &spec_;
+    const Skeleton &skel_;
+    Edits edits_;
+    uint32_t tripShift_;
+    uint64_t callQuota_;
+    uint64_t callsUsed_ = 0;
+    std::vector<uint64_t> bounds_;
+};
+
+/** Phase two: lower the (edited) skeleton to IR. */
+class Lowerer
+{
+  public:
+    Lowerer(const GenSpec &spec, const Skeleton &skel, uint32_t tripShift,
+            uint32_t callQuota, ir::Program &prog)
+        : spec_(spec), skel_(skel), edits_(spec), tripShift_(tripShift),
+          callQuota_(callQuota), builder_(prog), prog_(prog)
+    {}
+
+    void
+    run()
+    {
+        prog_.memWords = spec_.memWords;
+        for (uint32_t k = 0; k <= spec_.procs; ++k) {
+            const std::string name =
+                k < spec_.procs ? "proc" + std::to_string(k) : "main";
+            const ProcId p =
+                builder_.newProc(name, skel_.procs[k].nparams);
+            if (k == spec_.procs)
+                prog_.mainProc = p;
+            lowerProc(k);
+        }
+    }
+
+  private:
+    void
+    lowerProc(uint32_t k)
+    {
+        const ProcSkel &ps = skel_.procs[k];
+        if (spec_.procDropped(k)) {
+            builder_.ret(builder_.ldi(0));
+            return;
+        }
+        vars_.clear();
+        for (uint32_t a = 0; a < ps.nparams; ++a)
+            vars_.push_back(builder_.param(a));
+        for (int64_t c : ps.consts)
+            vars_.push_back(builder_.ldi(c));
+        memBase_ = builder_.ldi(0);
+        phase_ = builder_.ldi(0);
+        proc_ = k;
+        callsUsed_ = 0;
+        lowerRegion(ps.body);
+        builder_.ret(pick(ps.retPick));
+    }
+
+    RegId
+    pick(uint64_t raw) const
+    {
+        return vars_[raw % vars_.size()];
+    }
+
+    void
+    note(RegId v, uint64_t slot)
+    {
+        if (vars_.size() < 12) {
+            vars_.push_back(v);
+        } else {
+            vars_[slot % vars_.size()] = v;
+        }
+    }
+
+    void
+    lowerRegion(const std::vector<Stmt> &stmts)
+    {
+        // Correlation state is region-local: a conditional's register
+        // dominates everything later in the same region, but nothing
+        // outside it — reusing across regions could read a register
+        // that is undefined on some path.
+        RegId last_cond = ir::kNoReg;
+        for (const Stmt &s : stmts) {
+            if (!edits_.stmtDropped(proc_, s.id))
+                lowerStmt(s, last_cond);
+        }
+    }
+
+    void
+    lowerStmt(const Stmt &s, RegId &last_cond)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Alu:
+            lowerAlu(s);
+            break;
+          case Stmt::Kind::Load: {
+            const RegId v = builder_.ld(
+                memBase_, int64_t(s.offset % spec_.memWords));
+            note(v, s.slot);
+            break;
+          }
+          case Stmt::Kind::Store:
+            builder_.st(memBase_, int64_t(s.offset % spec_.memWords),
+                        pick(s.pickA));
+            break;
+          case Stmt::Kind::Emit:
+            builder_.emitValue(pick(s.pickA));
+            break;
+          case Stmt::Kind::Call:
+            lowerCall(s);
+            break;
+          case Stmt::Kind::If:
+            lowerIf(s, last_cond);
+            break;
+          case Stmt::Kind::Loop:
+            lowerLoop(s);
+            break;
+        }
+    }
+
+    void
+    lowerAlu(const Stmt &s)
+    {
+        const Opcode op = kAluOps[s.opIdx % std::size(kAluOps)];
+        const RegId dst =
+            s.overwrite ? pick(s.pickB) : builder_.freshReg();
+        if (s.useImm) {
+            builder_.aluiTo(op, dst, pick(s.pickA), s.imm);
+        } else {
+            builder_.aluTo(op, dst, pick(s.pickA), pick(s.pickC));
+        }
+        note(dst, s.slot);
+    }
+
+    void
+    lowerCall(const Stmt &s)
+    {
+        const uint32_t callable =
+            proc_ < spec_.procs ? proc_ : spec_.procs;
+        if (callable == 0 || callsUsed_ >= callQuota_) {
+            // Thinned by the bound normalization: keep a same-shape
+            // data op so the region is not simply shorter.
+            const RegId dst = builder_.freshReg();
+            builder_.aluiTo(Opcode::Add, dst, pick(s.pickA), s.imm);
+            note(dst, s.slot);
+            return;
+        }
+        ++callsUsed_;
+        const ProcId callee = ProcId(s.calleePick % callable);
+        std::vector<RegId> args;
+        const uint64_t raw[2] = {s.pickA, s.pickC};
+        for (uint32_t a = 0; a < skel_.procs[callee].nparams; ++a)
+            args.push_back(pick(raw[a % 2]));
+        note(builder_.callValue(callee, std::move(args)), s.slot);
+    }
+
+    void
+    lowerIf(const Stmt &s, RegId &last_cond)
+    {
+        RegId cond = ir::kNoReg;
+        switch (s.pattern) {
+          case kPatTttf: {
+            // Periodic taken/not-taken: true period-1 times out of
+            // every `period` executions.
+            builder_.aluiTo(Opcode::Add, phase_, phase_, 1);
+            const RegId r = builder_.alui(Opcode::Rem, phase_,
+                                          int64_t(spec_.period));
+            cond = builder_.alui(Opcode::CmpLt, r,
+                                 int64_t(spec_.period) - 1);
+            break;
+          }
+          case kPatPhased:
+            // True for the first 2*period executions, false after.
+            builder_.aluiTo(Opcode::Add, phase_, phase_, 1);
+            cond = builder_.alui(Opcode::CmpLt, phase_,
+                                 int64_t(spec_.period) * 2);
+            break;
+          case kPatCorr:
+            if (last_cond != ir::kNoReg) {
+                cond = last_cond; // perfectly correlated repeat
+                break;
+            }
+            [[fallthrough]];
+          case kPatRandom:
+          default:
+            cond = builder_.alui(Opcode::And, pick(s.pickA),
+                                 int64_t(1 + s.offset % 7));
+            break;
+        }
+        last_cond = cond;
+
+        const BlockId then_b = builder_.newBlock();
+        const BlockId else_b = builder_.newBlock();
+        const BlockId join_b = builder_.newBlock();
+        builder_.brnz(cond, then_b, else_b);
+
+        // Both arms see the same incoming pool; registers defined in
+        // only one arm must not escape it.
+        const std::vector<RegId> saved = vars_;
+        builder_.setBlock(then_b);
+        lowerRegion(s.a);
+        builder_.jmp(join_b);
+        vars_ = saved;
+        builder_.setBlock(else_b);
+        lowerRegion(s.b);
+        builder_.jmp(join_b);
+        vars_ = saved;
+        builder_.setBlock(join_b);
+    }
+
+    void
+    lowerLoop(const Stmt &s)
+    {
+        const uint32_t trips = edits_.tripsFor(proc_, s, tripShift_);
+        const RegId counter = builder_.freshReg();
+        builder_.ldiTo(counter, int64_t(trips));
+        const BlockId head = builder_.newBlock();
+        const BlockId exit_b = builder_.newBlock();
+        builder_.jmp(head);
+
+        const std::vector<RegId> saved = vars_;
+        builder_.setBlock(head);
+        lowerRegion(s.a);
+        vars_ = saved; // loop-carried defs stay within the body
+        builder_.aluiTo(Opcode::Sub, counter, counter, 1);
+        const RegId more = builder_.alui(Opcode::CmpGt, counter, 0);
+        builder_.brnz(more, head, exit_b);
+        builder_.setBlock(exit_b);
+    }
+
+    const GenSpec &spec_;
+    const Skeleton &skel_;
+    Edits edits_;
+    uint32_t tripShift_;
+    uint64_t callQuota_;
+    IrBuilder builder_;
+    ir::Program &prog_;
+
+    std::vector<RegId> vars_;
+    RegId memBase_ = ir::kNoReg;
+    RegId phase_ = ir::kNoReg;
+    uint32_t proc_ = 0;
+    uint64_t callsUsed_ = 0;
+};
+
+interp::ProgramInput
+makeInput(const GenSpec &spec, uint32_t nparams, uint64_t salt)
+{
+    // Inputs draw from their own streams: reduction edits and shape
+    // knobs never change the data a given seed runs on.
+    Rng rng(mix(spec.seed, salt));
+    interp::ProgramInput in;
+    for (uint32_t a = 0; a < nparams; ++a)
+        in.mainArgs.push_back(rng.range(-64, 64));
+    for (uint64_t w = 0; w < spec.memWords; ++w)
+        in.memImage.push_back(rng.range(-100, 100));
+    return in;
+}
+
+void
+collectNodes(const GenSpec &spec, uint32_t proc,
+             const std::vector<Stmt> &stmts, const Edits &edits,
+             uint32_t tripShift, std::vector<NodeInfo> &out)
+{
+    for (const Stmt &s : stmts) {
+        if (edits.stmtDropped(proc, s.id))
+            continue;
+        NodeInfo n;
+        n.proc = proc;
+        n.node = s.id;
+        n.kind = stmtKindName(s.kind);
+        n.isLoop = s.kind == Stmt::Kind::Loop;
+        if (n.isLoop)
+            n.trips = edits.tripsFor(proc, s, tripShift);
+        n.subtreeSize = 1;
+        const size_t at = out.size();
+        out.push_back(n);
+        collectNodes(spec, proc, s.a, edits, tripShift, out);
+        collectNodes(spec, proc, s.b, edits, tripShift, out);
+        out[at].subtreeSize =
+            uint32_t(out.size() - at); // live descendants + self
+    }
+}
+
+/** Pick the (tripShift, callQuota) normalization that fits the bound. */
+void
+normalizeBound(const GenSpec &spec, const Skeleton &skel,
+               uint32_t &tripShift, uint32_t &callQuota, uint64_t &bound)
+{
+    tripShift = 0;
+    callQuota = UINT32_MAX;
+    for (; tripShift <= 6; ++tripShift) {
+        bound = BoundCalc(spec, skel, tripShift, callQuota).program();
+        if (bound <= kMaxGenSteps)
+            return;
+    }
+    tripShift = 6;
+    for (uint32_t q : {64u, 32u, 16u, 8u, 4u, 2u, 1u, 0u}) {
+        callQuota = q;
+        bound = BoundCalc(spec, skel, tripShift, callQuota).program();
+        if (bound <= kMaxGenSteps)
+            return;
+    }
+    // Unreachable: with trips >= 1 and no calls the bound is linear in
+    // the node budget, far under the ceiling.
+    ps_assert(bound <= kMaxGenSteps);
+}
+
+} // namespace
+
+Workload
+generate(const GenSpec &rawSpec)
+{
+    Workload w;
+    w.spec = rawSpec.normalized();
+    w.name = strfmt("gen-%llu", (unsigned long long)w.spec.seed);
+
+    const Skeleton skel = buildSkeleton(w.spec);
+    normalizeBound(w.spec, skel, w.tripShift, w.callQuota, w.stepBound);
+    Lowerer(w.spec, skel, w.tripShift, w.callQuota, w.program).run();
+
+    const uint32_t nargs = skel.procs[w.spec.procs].nparams;
+    w.train = makeInput(w.spec, nargs, 0x7261696eULL);
+    w.test = makeInput(w.spec, nargs, 0x74657374ULL);
+    return w;
+}
+
+std::vector<NodeInfo>
+listNodes(const GenSpec &rawSpec)
+{
+    const GenSpec spec = rawSpec.normalized();
+    const Skeleton skel = buildSkeleton(spec);
+    uint32_t tripShift = 0, callQuota = UINT32_MAX;
+    uint64_t bound = 0;
+    normalizeBound(spec, skel, tripShift, callQuota, bound);
+    const Edits edits(spec);
+    std::vector<NodeInfo> out;
+    for (uint32_t k = 0; k <= spec.procs; ++k) {
+        if (!spec.procDropped(k))
+            collectNodes(spec, k, skel.procs[k].body, edits, tripShift,
+                         out);
+    }
+    return out;
+}
+
+uint32_t
+liveProcCount(const GenSpec &rawSpec)
+{
+    const GenSpec spec = rawSpec.normalized();
+    uint32_t live = 0;
+    for (uint32_t k = 0; k <= spec.procs; ++k)
+        live += spec.procDropped(k) ? 0 : 1;
+    return live;
+}
+
+} // namespace pathsched::gen

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Seed-deterministic IR workload generator.
+ *
+ * generate() maps a GenSpec to a complete workload — program plus
+ * train/test inputs — with construction-time guarantees the oracle
+ * (gen/oracle.hpp) relies on:
+ *
+ *  - the program passes ir::verify in Strict mode;
+ *  - it terminates: loops have fixed trip counts and the call graph is
+ *    acyclic (procedure k only calls procedures < k), and a bottom-up
+ *    static step bound is computed and clamped — when a spec's nesting
+ *    would explode the bound, trip counts are halved and then call
+ *    sites thinned, deterministically, until the bound fits;
+ *  - equal specs yield byte-identical IR in every process: generation
+ *    draws from seeded streams only (one independent stream per
+ *    procedure, so one procedure's shape never perturbs another's).
+ *
+ * Generation is two-phase.  Phase one builds a statement-tree skeleton
+ * holding every random draw; phase two lowers it to IR.  Reduction
+ * edits (GenSpec::edits) apply only during lowering, against stable
+ * preorder node ids of the unedited skeleton — so dropping one subtree
+ * leaves every other procedure and statement bit-identical, which is
+ * what makes delta debugging of a *generative* spec converge.
+ */
+
+#ifndef PATHSCHED_GEN_GENERATOR_HPP
+#define PATHSCHED_GEN_GENERATOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/spec.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/procedure.hpp"
+
+namespace pathsched::gen {
+
+/** A generated program plus inputs and its termination certificate. */
+struct Workload
+{
+    GenSpec spec; ///< the normalized spec this was generated from
+    std::string name;
+    ir::Program program;
+    interp::ProgramInput train;
+    interp::ProgramInput test;
+    /** Static upper bound on dynamic operations of one run. */
+    uint64_t stepBound = 0;
+    /** Trip-count right-shift applied to fit the bound (0 = none). */
+    uint32_t tripShift = 0;
+    /** Per-procedure cap on lowered call sites (UINT32_MAX = none). */
+    uint32_t callQuota = UINT32_MAX;
+};
+
+/** Generate the workload @p spec describes (spec is normalized first). */
+Workload generate(const GenSpec &spec);
+
+/** One live skeleton node, for the reducer's edit enumeration. */
+struct NodeInfo
+{
+    uint32_t proc = 0;
+    uint32_t node = 0;        ///< preorder id in the unedited skeleton
+    const char *kind = "";    ///< "alu", "load", ..., "if", "loop"
+    uint32_t subtreeSize = 1; ///< statements dropped by drop=pK.nN
+    bool isLoop = false;
+    uint32_t trips = 0;       ///< effective trips (SetTrips applied)
+};
+
+/**
+ * Enumerate the statement nodes of @p spec's skeleton that are still
+ * live under its edits (dropped procedures and subtrees are skipped),
+ * in (proc, preorder) order.
+ */
+std::vector<NodeInfo> listNodes(const GenSpec &spec);
+
+/** Procedures (main included) not stubbed by a DropProc edit. */
+uint32_t liveProcCount(const GenSpec &spec);
+
+} // namespace pathsched::gen
+
+#endif // PATHSCHED_GEN_GENERATOR_HPP

@@ -1,0 +1,112 @@
+#include "gen/reduce.hpp"
+
+#include <algorithm>
+
+#include "gen/generator.hpp"
+#include "ir/printer.hpp"
+
+namespace pathsched::gen {
+
+namespace {
+
+GenSpec
+withEdit(const GenSpec &spec, Edit e)
+{
+    GenSpec out = spec;
+    out.edits.push_back(e);
+    return out;
+}
+
+} // namespace
+
+GenSpec
+reduceSpec(const GenSpec &start, const Predicate &stillFails,
+           ReduceStats *stats, uint32_t maxProbes)
+{
+    GenSpec spec = start.normalized();
+    ReduceStats local;
+    ReduceStats &st = stats != nullptr ? *stats : local;
+
+    auto probe = [&](const GenSpec &cand) {
+        if (st.probes >= maxProbes)
+            return false;
+        ++st.probes;
+        if (!stillFails(cand))
+            return false;
+        ++st.accepted;
+        spec = cand;
+        return true;
+    };
+
+    // Phase 1: stub whole procedures.  High to low so helpers go
+    // before main, and repeat: dropping one procedure often makes
+    // another droppable (its only caller is gone).
+    bool changed = true;
+    while (changed && st.probes < maxProbes) {
+        changed = false;
+        for (uint32_t p = spec.procCount(); p-- > 0;) {
+            if (spec.procDropped(p))
+                continue;
+            Edit e;
+            e.kind = Edit::Kind::DropProc;
+            e.proc = p;
+            if (probe(withEdit(spec, e)))
+                changed = true;
+        }
+    }
+
+    // Phase 2: drop statement subtrees, largest first.  Restart the
+    // scan after each acceptance: the node list (and the payoff order)
+    // changes under the new edit set.
+    while (st.probes < maxProbes) {
+        std::vector<NodeInfo> nodes = listNodes(spec);
+        std::stable_sort(nodes.begin(), nodes.end(),
+                         [](const NodeInfo &a, const NodeInfo &b) {
+                             return a.subtreeSize > b.subtreeSize;
+                         });
+        bool advanced = false;
+        for (const NodeInfo &n : nodes) {
+            Edit e;
+            e.kind = Edit::Kind::DropStmt;
+            e.proc = n.proc;
+            e.node = n.node;
+            if (probe(withEdit(spec, e))) {
+                advanced = true;
+                break;
+            }
+            if (st.probes >= maxProbes)
+                break;
+        }
+        if (!advanced)
+            break;
+    }
+
+    // Phase 3: pin surviving loops to one trip.
+    for (const NodeInfo &n : listNodes(spec)) {
+        if (!n.isLoop || n.trips <= 1 || st.probes >= maxProbes)
+            continue;
+        Edit e;
+        e.kind = Edit::Kind::SetTrips;
+        e.proc = n.proc;
+        e.node = n.node;
+        e.trips = 1;
+        probe(withEdit(spec, e));
+    }
+
+    // Prune edits that no longer change the generated program (e.g. a
+    // subtree drop inside a procedure that was stubbed later).  Pure
+    // comparison, no predicate probes.
+    const auto printout = [](const GenSpec &s) {
+        return ir::toString(generate(s).program);
+    };
+    std::string current = printout(spec);
+    for (size_t i = spec.edits.size(); i-- > 0;) {
+        GenSpec cand = spec;
+        cand.edits.erase(cand.edits.begin() + long(i));
+        if (printout(cand) == current)
+            spec = cand;
+    }
+    return spec;
+}
+
+} // namespace pathsched::gen

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Delta-debugging reduction over generator specs.
+ *
+ * Given a spec whose workload fails the oracle and a predicate that
+ * re-checks "still fails the same way", reduceSpec() greedily shrinks
+ * the *spec* (never the IR): stub whole procedures, drop statement
+ * subtrees largest-first, then pin loop trip counts to 1.  Because
+ * edits address stable preorder node ids of the unedited skeleton
+ * (gen/generator.hpp), every candidate is itself a replayable one-line
+ * spec — the minimized repro is `pathsched_fuzz --replay '<spec>'`.
+ *
+ * The predicate is caller-supplied so reduction composes with any
+ * failure mode: the fuzz driver probes in a crash-isolated child
+ * process (a candidate that crashes the pipeline must not kill the
+ * reducer), while tests probe in-process for speed.
+ */
+
+#ifndef PATHSCHED_GEN_REDUCE_HPP
+#define PATHSCHED_GEN_REDUCE_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "gen/spec.hpp"
+
+namespace pathsched::gen {
+
+/** True when the candidate spec still fails the same way. */
+using Predicate = std::function<bool(const GenSpec &)>;
+
+/** Reduction effort accounting. */
+struct ReduceStats
+{
+    uint32_t probes = 0;   ///< predicate evaluations
+    uint32_t accepted = 0; ///< probes that shrank the spec
+};
+
+/**
+ * Shrink @p start while @p stillFails holds, probing at most
+ * @p maxProbes candidates.  Returns the smallest accepted spec (at
+ * worst @p start normalized).  Redundant edits — ones that no longer
+ * change the generated program — are pruned from the result.
+ */
+GenSpec reduceSpec(const GenSpec &start, const Predicate &stillFails,
+                   ReduceStats *stats = nullptr,
+                   uint32_t maxProbes = 400);
+
+} // namespace pathsched::gen
+
+#endif // PATHSCHED_GEN_REDUCE_HPP

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "support/logging.hpp"
+#include "support/mutation.hpp"
 
 namespace pathsched::sched {
 
@@ -59,6 +60,13 @@ DepGraph::DepGraph(const std::vector<Instruction> &instrs,
     succs_.resize(n);
     numPreds_.assign(n, 0);
     height_.assign(n, 0);
+
+    // Planted bug for harness self-tests (support/mutation.hpp): with
+    // the mutation armed, store->load dependences are dropped in
+    // multi-exit (superblock) blocks only, so single-exit blocks — and
+    // with them the BB quarantine fallback — keep scheduling correctly.
+    const bool drop_memdep =
+        exits.size() > 1 && mutationArmed("compact-drop-memdep");
 
     std::unordered_map<RegId, uint32_t> last_def;
     std::unordered_map<RegId, std::vector<uint32_t>> readers_since_def;
@@ -125,6 +133,8 @@ DepGraph::DepGraph(const std::vector<Instruction> &instrs,
             for (const MemRef &prev : mem_refs) {
                 if (prev.isLoad && ref.isLoad)
                     continue; // loads commute
+                if (drop_memdep && prev.isStore && ref.isLoad)
+                    continue; // deliberately wrong (mutation armed)
                 if (provablyDisjoint(prev, ref))
                     continue; // limited load/store reordering
                 // Reads may share the consumer's cycle (ordered);

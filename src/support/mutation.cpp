@@ -1,0 +1,63 @@
+#include "support/mutation.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace pathsched {
+
+namespace {
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> names;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            names.push_back(item);
+    return names;
+}
+
+/** Armed set; the pointer is swapped atomically so mutationArmed can
+ *  be called from pipeline worker threads without locking. */
+std::atomic<const std::vector<std::string> *> g_armed{nullptr};
+std::once_flag g_env_once;
+
+void
+loadFromEnv()
+{
+    const char *env = std::getenv("PATHSCHED_MUTATION");
+    auto *set = new std::vector<std::string>(
+        env != nullptr ? splitCsv(env) : std::vector<std::string>());
+    g_armed.store(set, std::memory_order_release);
+}
+
+} // namespace
+
+bool
+mutationArmed(std::string_view name)
+{
+    std::call_once(g_env_once, loadFromEnv);
+    const std::vector<std::string> *set =
+        g_armed.load(std::memory_order_acquire);
+    for (const std::string &n : *set)
+        if (n == name)
+            return true;
+    return false;
+}
+
+void
+setMutationsForTest(const std::string &csv)
+{
+    std::call_once(g_env_once, loadFromEnv);
+    // Leaks the previous set by design: a racing reader may still hold
+    // it, and test arming happens a handful of times per process.
+    g_armed.store(new std::vector<std::string>(splitCsv(csv)),
+                  std::memory_order_release);
+}
+
+} // namespace pathsched

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Replays every reduced fuzz finding in tests/corpus/ through the
+ * differential oracle.
+ *
+ * Corpus files are the fuzz driver's currency: the first line is a
+ * GenSpec, comment lines record the original classification and — for
+ * harness drills — the mutation that must be armed to reproduce.
+ * Files without a mutation are regression specs for fixed bugs and
+ * must replay clean; files with one must be clean unmutated and fail
+ * with the recorded classification once the mutation is armed, which
+ * proves the oracle still catches the planted bug.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/oracle.hpp"
+#include "support/mutation.hpp"
+
+namespace fs = std::filesystem;
+using namespace pathsched;
+
+namespace {
+
+struct CorpusEntry
+{
+    std::string name;
+    gen::GenSpec spec;
+    std::string klass;    ///< "# class:" first token, may be empty
+    std::string mutation; ///< "# mutation:" value, may be empty
+};
+
+std::string firstToken(const std::string &s)
+{
+    const size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    const size_t e = s.find_first_of(" \t", b);
+    return s.substr(b, e == std::string::npos ? std::string::npos : e - b);
+}
+
+std::vector<CorpusEntry> loadCorpus()
+{
+    std::vector<CorpusEntry> out;
+    std::vector<fs::path> paths;
+    for (const auto &de : fs::directory_iterator(PATHSCHED_CORPUS_DIR)) {
+        if (de.path().extension() == ".spec")
+            paths.push_back(de.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path &p : paths) {
+        std::ifstream in(p);
+        CorpusEntry e;
+        e.name = p.filename().string();
+        std::string line;
+        bool haveSpec = false;
+        while (std::getline(in, line)) {
+            if (line.rfind("# class:", 0) == 0) {
+                e.klass = firstToken(line.substr(8));
+            } else if (line.rfind("# mutation:", 0) == 0) {
+                e.mutation = firstToken(line.substr(11));
+            } else if (!line.empty() && line[0] != '#' && !haveSpec) {
+                std::string err;
+                EXPECT_TRUE(gen::GenSpec::parse(line, e.spec, err))
+                    << e.name << ": " << err;
+                haveSpec = true;
+            }
+        }
+        EXPECT_TRUE(haveSpec) << e.name << ": no spec line";
+        if (haveSpec)
+            out.push_back(std::move(e));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(FuzzCorpus, HasEntries)
+{
+    EXPECT_GE(loadCorpus().size(), 5u);
+}
+
+/** Every corpus spec must replay clean with no mutation armed — these
+ *  are regressions for fixed bugs (or the clean half of a drill). */
+TEST(FuzzCorpus, AllSpecsReplayClean)
+{
+    for (const CorpusEntry &e : loadCorpus()) {
+        const gen::OracleResult r = gen::checkSpec(e.spec);
+        EXPECT_TRUE(r.ok()) << e.name << ":\n" << r.report();
+    }
+}
+
+/** Drill entries must still trip the oracle, with the recorded
+ *  classification, once their mutation is armed. */
+TEST(FuzzCorpus, MutationDrillsStillFire)
+{
+    size_t drills = 0;
+    for (const CorpusEntry &e : loadCorpus()) {
+        if (e.mutation.empty())
+            continue;
+        ++drills;
+        ASSERT_FALSE(e.klass.empty()) << e.name << ": drill without class";
+        ScopedMutation arm(e.mutation);
+        const gen::OracleResult r = gen::checkSpec(e.spec);
+        ASSERT_FALSE(r.ok()) << e.name << ": mutation " << e.mutation
+                             << " no longer caught";
+        EXPECT_EQ(r.classification(), e.klass) << e.name;
+    }
+    EXPECT_GE(drills, 1u) << "corpus lost its harness drill";
+}

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for the seeded workload generator, the differential oracle and
+ * the spec reducer (src/gen/) — the engine under pathsched_fuzz.
+ *
+ * The properties here are the fuzzer's soundness arguments: specs
+ * round-trip through text, generation is deterministic, every workload
+ * verifies and terminates inside its static step bound, reduction
+ * edits are replayable, the oracle passes clean workloads, and a
+ * deliberately planted scheduling bug (support/mutation.hpp) is
+ * caught, classified, and reduced to a one-procedure repro.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "gen/oracle.hpp"
+#include "gen/reduce.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "support/mutation.hpp"
+
+namespace pathsched::gen {
+namespace {
+
+// ---------------------------------------------------------------------
+// Spec text round-trip.
+
+TEST(GenSpec, DefaultRoundTripsThroughText)
+{
+    const GenSpec a = GenSpec().normalized();
+    GenSpec b;
+    std::string err;
+    ASSERT_TRUE(GenSpec::parse(a.toString(), b, err)) << err;
+    EXPECT_EQ(a.toString(), b.toString());
+}
+
+TEST(GenSpec, KnobsAndEditsRoundTrip)
+{
+    GenSpec a;
+    a.seed = 77;
+    a.procs = 5;
+    a.depth = 4;
+    a.stmts = 9;
+    a.maxTrips = 11;
+    a.memWords = 16;
+    a.branch = BranchKind::Tttf;
+    a.period = 6;
+    a.callDensity = 0.21;
+    a.edits.push_back({Edit::Kind::DropProc, 2, 0, 1});
+    a.edits.push_back({Edit::Kind::DropStmt, 5, 13, 1});
+    a.edits.push_back({Edit::Kind::SetTrips, 5, 4, 2});
+    const GenSpec na = a.normalized();
+    GenSpec b;
+    std::string err;
+    ASSERT_TRUE(GenSpec::parse(na.toString(), b, err)) << err;
+    EXPECT_EQ(na.toString(), b.toString());
+    ASSERT_EQ(b.edits.size(), 3u);
+    EXPECT_EQ(b.edits[0].kind, Edit::Kind::DropProc);
+    EXPECT_EQ(b.edits[1].node, 13u);
+    EXPECT_EQ(b.edits[2].trips, 2u);
+}
+
+TEST(GenSpec, RejectsMalformedText)
+{
+    GenSpec out;
+    std::string err;
+    EXPECT_FALSE(GenSpec::parse("seed=", out, err));
+    EXPECT_FALSE(GenSpec::parse("bogus=3", out, err));
+    EXPECT_FALSE(GenSpec::parse("seed=1,branch=sometimes", out, err));
+    EXPECT_FALSE(GenSpec::parse("drop=x7", out, err));
+    EXPECT_FALSE(GenSpec::parse("settrips=p1.n2", out, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(GenSpec, NormalizeClampsOutOfRangeKnobs)
+{
+    GenSpec a;
+    a.procs = 99;
+    a.depth = 40;
+    a.maxTrips = 1000;
+    a.loadDensity = 0.9;
+    a.storeDensity = 0.9;
+    const GenSpec n = a.normalized();
+    EXPECT_LE(n.procs, 12u);
+    EXPECT_LE(n.depth, 5u);
+    EXPECT_LE(n.maxTrips, 32u);
+    // Densities are rescaled so simple statements remain possible.
+    EXPECT_LE(n.callDensity + n.loadDensity + n.storeDensity +
+                  n.emitDensity + n.ifDensity + n.loopDensity,
+              0.851);
+}
+
+// ---------------------------------------------------------------------
+// Generation: determinism, validity, termination.
+
+TEST(Generator, SameSpecIsByteIdentical)
+{
+    GenSpec spec;
+    spec.seed = 1234;
+    spec.branch = BranchKind::Mixed;
+    const Workload a = generate(spec);
+    const Workload b = generate(spec);
+    EXPECT_EQ(ir::toString(a.program), ir::toString(b.program));
+    EXPECT_EQ(a.train.mainArgs, b.train.mainArgs);
+    EXPECT_EQ(a.train.memImage, b.train.memImage);
+    EXPECT_EQ(a.test.memImage, b.test.memImage);
+    EXPECT_EQ(a.stepBound, b.stepBound);
+}
+
+TEST(Generator, TrainAndTestInputsDiffer)
+{
+    const Workload w = generate(GenSpec{.seed = 5});
+    EXPECT_NE(w.train.memImage, w.test.memImage);
+    EXPECT_EQ(w.train.memImage.size(), w.spec.memWords);
+    EXPECT_EQ(w.test.memImage.size(), w.spec.memWords);
+}
+
+class GeneratorFamilies : public ::testing::TestWithParam<BranchKind>
+{};
+
+TEST_P(GeneratorFamilies, VerifiesAndTerminatesWithinBound)
+{
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        GenSpec spec;
+        spec.seed = seed;
+        spec.branch = GetParam();
+        spec.ifDensity = 0.22;
+        spec.loopDensity = 0.14;
+        const Workload w = generate(spec);
+        std::vector<std::string> errs;
+        ASSERT_TRUE(ir::verify(w.program, ir::VerifyMode::Strict, errs))
+            << "seed " << seed << ": "
+            << (errs.empty() ? "" : errs.front());
+        ASSERT_GT(w.stepBound, 0u);
+
+        interp::InterpOptions io;
+        io.maxSteps = w.stepBound;
+        interp::Interpreter interp(w.program, io);
+        const interp::RunResult r = interp.run(w.train);
+        EXPECT_FALSE(r.truncated()) << "seed " << seed;
+        EXPECT_LE(r.dynInstrs, w.stepBound) << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GeneratorFamilies,
+    ::testing::Values(BranchKind::Random, BranchKind::Tttf,
+                      BranchKind::Phased, BranchKind::Correlated,
+                      BranchKind::Mixed));
+
+TEST(Generator, HeavyNestingStillFitsTheStepCeiling)
+{
+    // Worst-case knobs: deep nesting, max trips, call-dense.  The
+    // normalizer (trip halving, call thinning) must keep the static
+    // bound finite and the program runnable.
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        GenSpec spec;
+        spec.seed = seed;
+        spec.procs = 8;
+        spec.depth = 5;
+        spec.loopDepth = 3;
+        spec.maxTrips = 32;
+        spec.callDensity = 0.25;
+        spec.loopDensity = 0.25;
+        spec.ifDensity = 0.2;
+        const Workload w = generate(spec);
+        ASSERT_LE(w.stepBound, 250'000u) << "seed " << seed;
+        interp::InterpOptions io;
+        io.maxSteps = w.stepBound;
+        interp::Interpreter interp(w.program, io);
+        EXPECT_FALSE(interp.run(w.train).truncated()) << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Edits: the reducer's replayable shrink operations.
+
+TEST(GeneratorEdits, DropProcStubsOnlyThatProcedure)
+{
+    GenSpec spec;
+    spec.seed = 42;
+    const Workload base = generate(spec);
+
+    GenSpec dropped = spec;
+    dropped.edits.push_back({Edit::Kind::DropProc, 1, 0, 1});
+    const Workload w = generate(dropped);
+
+    ASSERT_EQ(w.program.procs.size(), base.program.procs.size());
+    // Arity is preserved so existing call sites stay valid...
+    EXPECT_EQ(w.program.procs[1].numParams,
+              base.program.procs[1].numParams);
+    // ...the stub is trivial...
+    EXPECT_LE(w.program.procs[1].blocks[0].instrs.size(), 2u);
+    // ...and every procedure on an independent RNG stream is
+    // bit-identical to the unedited generation.
+    for (size_t p = 0; p < w.program.procs.size(); ++p) {
+        if (p == 1)
+            continue;
+        EXPECT_EQ(ir::toString(w.program.procs[p]),
+                  ir::toString(base.program.procs[p]))
+            << "proc " << p;
+    }
+    std::vector<std::string> errs;
+    EXPECT_TRUE(ir::verify(w.program, ir::VerifyMode::Strict, errs))
+        << (errs.empty() ? "" : errs.front());
+}
+
+TEST(GeneratorEdits, ListNodesShrinksUnderDrops)
+{
+    GenSpec spec;
+    spec.seed = 9;
+    const std::vector<NodeInfo> before = listNodes(spec);
+    ASSERT_FALSE(before.empty());
+
+    // Dropping the largest subtree removes at least that many nodes.
+    const NodeInfo *largest = &before[0];
+    for (const NodeInfo &n : before) {
+        if (n.subtreeSize > largest->subtreeSize)
+            largest = &n;
+    }
+    GenSpec edited = spec;
+    edited.edits.push_back(
+        {Edit::Kind::DropStmt, largest->proc, largest->node, 1});
+    const std::vector<NodeInfo> after = listNodes(edited);
+    EXPECT_EQ(after.size(), before.size() - largest->subtreeSize);
+    std::vector<std::string> errs;
+    EXPECT_TRUE(
+        ir::verify(generate(edited).program, ir::VerifyMode::Strict, errs))
+        << (errs.empty() ? "" : errs.front());
+}
+
+TEST(GeneratorEdits, SetTripsPinsLoops)
+{
+    // Find a spec with a loop, pin it to one trip, and check the
+    // reference run shortens.
+    for (uint64_t seed = 1; seed <= 50; ++seed) {
+        GenSpec spec;
+        spec.seed = seed;
+        spec.loopDensity = 0.3;
+        bool found = false;
+        for (const NodeInfo &n : listNodes(spec)) {
+            if (!n.isLoop || n.trips < 4)
+                continue;
+            GenSpec pinned = spec;
+            pinned.edits.push_back(
+                {Edit::Kind::SetTrips, n.proc, n.node, 1});
+            EXPECT_LT(generate(pinned).stepBound,
+                      generate(spec).stepBound);
+            found = true;
+            break;
+        }
+        if (found)
+            return;
+    }
+    FAIL() << "no loop with >=4 trips in 50 seeds";
+}
+
+// ---------------------------------------------------------------------
+// Oracle: clean workloads pass every check.
+
+TEST(Oracle, CleanSeedsPassAllConfigs)
+{
+    for (uint64_t seed = 60; seed < 66; ++seed) {
+        GenSpec spec;
+        spec.seed = seed;
+        const OracleResult res = checkSpec(spec, {});
+        EXPECT_TRUE(res.ok())
+            << "seed " << seed << "\n"
+            << res.report();
+        EXPECT_GT(res.refDynInstrs, 0u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Planted-bug drill: the oracle must catch a real scheduling bug, and
+// the reducer must shrink it while preserving the classification.
+
+const char kMemdepRepro[] =
+    "seed=19,mem=2,calls=0,loads=0.3,stores=0.3,emits=0.1,"
+    "ifs=0.15,loops=0.1";
+
+TEST(Mutation, PlantedCompactBugIsCaughtAndClassified)
+{
+    GenSpec spec;
+    std::string err;
+    ASSERT_TRUE(GenSpec::parse(kMemdepRepro, spec, err)) << err;
+
+    // Clean without the mutation...
+    ASSERT_TRUE(checkSpec(spec, {}).ok());
+
+    // ...typed output-compare degradation with it.  BB stays clean by
+    // construction (the mutation only fires in multi-exit blocks).
+    ScopedMutation arm("compact-drop-memdep");
+    const OracleResult res = checkSpec(spec, {});
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.findings[0].check, "degraded");
+    EXPECT_EQ(res.findings[0].detail, "output-compare");
+    for (const OracleFinding &f : res.findings)
+        EXPECT_NE(f.config, "BB") << f.message;
+}
+
+TEST(Mutation, ReducerShrinksPlantedBugToOneProcedure)
+{
+    GenSpec spec;
+    std::string err;
+    ASSERT_TRUE(GenSpec::parse(kMemdepRepro, spec, err)) << err;
+
+    ScopedMutation arm("compact-drop-memdep");
+    const std::string klass = checkSpec(spec, {}).classification();
+    ASSERT_NE(klass, "-");
+
+    OracleOptions fast;
+    fast.metamorphic = false;
+    ReduceStats stats;
+    const GenSpec minimal = reduceSpec(
+        spec,
+        [&](const GenSpec &cand) {
+            return checkSpec(cand, fast).classification() == klass;
+        },
+        &stats, 300);
+
+    EXPECT_GT(stats.probes, 0u);
+    EXPECT_GT(stats.accepted, 0u);
+    EXPECT_EQ(liveProcCount(minimal), 1u);
+    // The minimized spec still fails the same way, and replays clean
+    // once the mutation is disarmed.
+    EXPECT_EQ(checkSpec(minimal, {}).classification(), klass);
+    setMutationsForTest("");
+    EXPECT_TRUE(checkSpec(minimal, {}).ok());
+}
+
+} // namespace
+} // namespace pathsched::gen

@@ -13,6 +13,7 @@
 #include "ir/builder.hpp"
 #include "profile/edge_profile.hpp"
 #include "profile/path_profile.hpp"
+#include "support/rng.hpp"
 #include "testutil.hpp"
 
 namespace pstest = pathsched::testing;

@@ -2,212 +2,34 @@
 
 #include <algorithm>
 
-#include "support/logging.hpp"
+#include "gen/generator.hpp"
 
 namespace pathsched::testing {
-
-using ir::BlockId;
-using ir::IrBuilder;
-using ir::Opcode;
-using ir::ProcId;
-using ir::RegId;
-
-namespace {
-
-const Opcode kAluOps[] = {
-    Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And, Opcode::Or,
-    Opcode::Xor, Opcode::Shl, Opcode::Shr, Opcode::CmpEq, Opcode::CmpNe,
-    Opcode::CmpLt, Opcode::CmpLe, Opcode::CmpGt, Opcode::CmpGe,
-    Opcode::Div, Opcode::Rem,
-};
-
-/** Per-program generation context. */
-class Generator
-{
-  public:
-    Generator(uint64_t seed, const GenParams &params)
-        : rng_(seed), params_(params), builder_(out_.program)
-    {}
-
-    GeneratedProgram
-    run()
-    {
-        out_.program.memWords = params_.memWords;
-
-        // Leaf-to-root: procedure k may call procedures < k, so the
-        // call graph is acyclic and termination is structural.
-        std::vector<ProcId> callable;
-        for (uint32_t k = 0; k < params_.numProcs; ++k) {
-            const uint32_t nparams = uint32_t(rng_.below(3));
-            const ProcId p = genProc("proc" + std::to_string(k), nparams,
-                                     callable);
-            callable.push_back(p);
-        }
-        const ProcId main =
-            genProc("main", uint32_t(rng_.below(3)), callable);
-        out_.program.mainProc = main;
-
-        const auto &mp = out_.program.proc(main);
-        for (uint32_t a = 0; a < mp.numParams; ++a)
-            out_.input.mainArgs.push_back(rng_.range(-64, 64));
-        for (uint64_t w = 0; w < params_.memWords; ++w)
-            out_.input.memImage.push_back(rng_.range(-100, 100));
-        return std::move(out_);
-    }
-
-  private:
-    /** Registers currently holding defined values in the open proc. */
-    std::vector<RegId> vars_;
-    RegId memBase_ = ir::kNoReg;
-
-    RegId
-    pickVar()
-    {
-        return vars_[rng_.below(vars_.size())];
-    }
-
-    void
-    noteVar(RegId v)
-    {
-        if (vars_.size() >= 12) {
-            vars_[rng_.below(vars_.size())] = v;
-        } else {
-            vars_.push_back(v);
-        }
-    }
-
-    ProcId
-    genProc(const std::string &name, uint32_t nparams,
-            const std::vector<ProcId> &callable)
-    {
-        const ProcId p = builder_.newProc(name, nparams);
-        vars_.clear();
-        for (uint32_t a = 0; a < nparams; ++a)
-            vars_.push_back(builder_.param(a));
-        for (int k = 0; k < 3; ++k)
-            vars_.push_back(builder_.ldi(rng_.range(-20, 20)));
-        memBase_ = builder_.ldi(0);
-
-        genRegion(0, callable);
-        builder_.ret(pickVar());
-        return p;
-    }
-
-    void
-    genRegion(uint32_t depth, const std::vector<ProcId> &callable)
-    {
-        const uint64_t stmts = 1 + rng_.below(params_.maxStmtsPerRegion);
-        for (uint64_t s = 0; s < stmts; ++s)
-            genStatement(depth, callable);
-    }
-
-    void
-    genStatement(uint32_t depth, const std::vector<ProcId> &callable)
-    {
-        const double roll = rng_.uniform();
-        if (roll < 0.35) {
-            genAlu();
-        } else if (roll < 0.45 && params_.allowLoads) {
-            const RegId v = builder_.ld(
-                memBase_, int64_t(rng_.below(params_.memWords)));
-            noteVar(v);
-        } else if (roll < 0.55 && params_.allowStores) {
-            builder_.st(memBase_, int64_t(rng_.below(params_.memWords)),
-                        pickVar());
-        } else if (roll < 0.62 && params_.allowEmit) {
-            builder_.emitValue(pickVar());
-        } else if (roll < 0.72 && params_.allowCalls &&
-                   !callable.empty()) {
-            const ProcId callee =
-                callable[rng_.below(callable.size())];
-            std::vector<RegId> args;
-            for (uint32_t a = 0;
-                 a < out_.program.proc(callee).numParams; ++a) {
-                args.push_back(pickVar());
-            }
-            noteVar(builder_.callValue(callee, std::move(args)));
-        } else if (roll < 0.88 && depth < params_.maxDepth) {
-            genIf(depth, callable);
-        } else if (depth < params_.maxDepth) {
-            genLoop(depth, callable);
-        } else {
-            genAlu();
-        }
-    }
-
-    void
-    genAlu()
-    {
-        const Opcode op = kAluOps[rng_.below(std::size(kAluOps))];
-        const bool use_imm = rng_.chance(0.4);
-        const bool overwrite = rng_.chance(0.3);
-        RegId dst;
-        if (use_imm) {
-            dst = overwrite ? pickVar() : builder_.freshReg();
-            builder_.aluiTo(op, dst, pickVar(), rng_.range(-32, 32));
-        } else {
-            dst = overwrite ? pickVar() : builder_.freshReg();
-            builder_.aluTo(op, dst, pickVar(), pickVar());
-        }
-        noteVar(dst);
-    }
-
-    void
-    genIf(uint32_t depth, const std::vector<ProcId> &callable)
-    {
-        const RegId cond = builder_.alui(Opcode::And, pickVar(),
-                                         int64_t(1 + rng_.below(7)));
-        const BlockId then_b = builder_.newBlock();
-        const BlockId else_b = builder_.newBlock();
-        const BlockId join_b = builder_.newBlock();
-        builder_.brnz(cond, then_b, else_b);
-
-        // Both arms see the same incoming vars; registers defined in
-        // only one arm must not escape, so the var pool is restored.
-        const std::vector<RegId> saved = vars_;
-        builder_.setBlock(then_b);
-        genRegion(depth + 1, callable);
-        builder_.jmp(join_b);
-        vars_ = saved;
-        builder_.setBlock(else_b);
-        genRegion(depth + 1, callable);
-        builder_.jmp(join_b);
-        vars_ = saved;
-        builder_.setBlock(join_b);
-    }
-
-    void
-    genLoop(uint32_t depth, const std::vector<ProcId> &callable)
-    {
-        const int64_t trips = rng_.range(1, 6);
-        const RegId counter = builder_.freshReg();
-        builder_.ldiTo(counter, trips);
-        const BlockId head = builder_.newBlock();
-        const BlockId exit_b = builder_.newBlock();
-        builder_.jmp(head);
-
-        const std::vector<RegId> saved = vars_;
-        builder_.setBlock(head);
-        genRegion(depth + 1, callable);
-        vars_ = saved; // loop-carried defs stay within the body
-        builder_.aluiTo(Opcode::Sub, counter, counter, 1);
-        const RegId more = builder_.alui(Opcode::CmpGt, counter, 0);
-        builder_.brnz(more, head, exit_b);
-        builder_.setBlock(exit_b);
-    }
-
-    Rng rng_;
-    GenParams params_;
-    GeneratedProgram out_;
-    IrBuilder builder_;
-};
-
-} // namespace
 
 GeneratedProgram
 makeRandomProgram(uint64_t seed, const GenParams &params)
 {
-    return Generator(seed, params).run();
+    gen::GenSpec spec;
+    spec.seed = seed;
+    spec.procs = params.numProcs;
+    spec.depth = params.maxDepth;
+    spec.loopDepth = std::min(params.maxDepth, 3u);
+    spec.stmts = params.maxStmtsPerRegion;
+    spec.memWords = params.memWords;
+    if (!params.allowCalls)
+        spec.callDensity = 0;
+    if (!params.allowLoads)
+        spec.loadDensity = 0;
+    if (!params.allowStores)
+        spec.storeDensity = 0;
+    if (!params.allowEmit)
+        spec.emitDensity = 0;
+
+    gen::Workload w = gen::generate(spec);
+    GeneratedProgram out;
+    out.program = std::move(w.program);
+    out.input = std::move(w.train);
+    return out;
 }
 
 } // namespace pathsched::testing

@@ -3,26 +3,26 @@
  * Test utilities: a seeded structured random-program generator used by
  * the property tests.
  *
- * Generated programs are strict-mode, always terminate (loops have
- * fixed trip counts), only touch memory inside their declared window,
- * and produce observable output through Emit and the return value —
- * which makes them ideal for differential testing of every
+ * This is now a thin shim over the production workload generator
+ * (gen/generator.hpp) — the same engine the differential fuzzer
+ * drives — so property tests and fuzzing exercise identical program
+ * shapes.  Generated programs are strict-mode, always terminate (loops
+ * have fixed trip counts), only touch memory inside their declared
+ * window, and produce observable output through Emit and the return
+ * value — which makes them ideal for differential testing of every
  * transformation pass (output must be invariant).
  */
 
 #ifndef PATHSCHED_TESTS_TESTUTIL_HPP
 #define PATHSCHED_TESTS_TESTUTIL_HPP
 
-#include <vector>
-
 #include "interp/interpreter.hpp"
-#include "ir/builder.hpp"
 #include "ir/procedure.hpp"
-#include "support/rng.hpp"
 
 namespace pathsched::testing {
 
-/** Knobs for the random program generator. */
+/** Knobs for the random program generator (legacy shape; forwarded
+ *  onto gen::GenSpec — new code should use GenSpec directly). */
 struct GenParams
 {
     uint32_t numProcs = 3;        ///< procedures beyond main
@@ -45,8 +45,8 @@ struct GeneratedProgram
 /**
  * Generate a random structured program from @p seed.  The call graph
  * is acyclic (procedures only call lower-numbered ones), every loop
- * has a data-independent trip count of 1..6, and every memory access
- * is within [0, memWords).
+ * has a data-independent trip count, and every memory access is within
+ * [0, memWords).
  */
 GeneratedProgram makeRandomProgram(uint64_t seed,
                                    const GenParams &params = GenParams());

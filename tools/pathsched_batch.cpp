@@ -56,7 +56,7 @@
 #include <string>
 #include <vector>
 
-#include "support/hash.hpp"
+#include "support/journal.hpp"
 #include "support/logging.hpp"
 #include "support/strutil.hpp"
 #include "support/vio.hpp"
@@ -121,94 +121,6 @@ splitList(const std::string &s)
     return out;
 }
 
-/**
- * Prefix a journal object with a CRC over the rest of the line:
- * {"event":...}  ->  {"crc":"xxxxxxxx","event":...}
- * The CRC covers every byte after the crc field's comma, so a torn
- * write (truncated tail, interleaved garbage) fails verification.
- */
-std::string
-withCrc(const std::string &json)
-{
-    const std::string rest = json.substr(1); // drop the opening '{'
-    return strfmt("{\"crc\":\"%08x\",", crc32(rest.data(), rest.size())) +
-           rest;
-}
-
-/**
- * Check one journal line's CRC.  Lines without a leading crc field
- * (written by older builds) pass unverified — the format is additive.
- */
-bool
-crcLineOk(const std::string &line)
-{
-    const char prefix[] = "{\"crc\":\"";
-    const size_t plen = sizeof prefix - 1; // 8
-    if (line.compare(0, plen, prefix) != 0)
-        return true; // legacy line: nothing to verify
-    // {"crc":"xxxxxxxx",REST  — 8 hex digits, then '",'.
-    if (line.size() < plen + 10)
-        return false;
-    uint32_t declared = 0;
-    for (size_t i = plen; i < plen + 8; ++i) {
-        const char c = line[i];
-        uint32_t d;
-        if (c >= '0' && c <= '9')
-            d = uint32_t(c - '0');
-        else if (c >= 'a' && c <= 'f')
-            d = uint32_t(c - 'a' + 10);
-        else
-            return false;
-        declared = (declared << 4) | d;
-    }
-    if (line.compare(plen + 8, 2, "\",") != 0)
-        return false;
-    const size_t rest = plen + 10;
-    return crc32(line.data() + rest, line.size() - rest) == declared;
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (c == '\n') {
-            out += "\\n";
-            continue;
-        }
-        out += c;
-    }
-    return out;
-}
-
-/** Minimal JSONL value scan: "key":"value" or "key":number. */
-bool
-jsonField(const std::string &line, const std::string &key,
-          std::string &out)
-{
-    const std::string needle = "\"" + key + "\":";
-    const size_t pos = line.find(needle);
-    if (pos == std::string::npos)
-        return false;
-    size_t v = pos + needle.size();
-    if (v >= line.size())
-        return false;
-    if (line[v] == '"') {
-        const size_t end = line.find('"', v + 1);
-        if (end == std::string::npos)
-            return false;
-        out = line.substr(v + 1, end - v - 1);
-        return true;
-    }
-    size_t end = v;
-    while (end < line.size() && line[end] != ',' && line[end] != '}')
-        ++end;
-    out = line.substr(v, end - v);
-    return true;
-}
-
 /** One (workload, config) unit of work. */
 struct Task
 {
@@ -231,59 +143,6 @@ struct Running
     size_t taskIdx = 0;
     Clock::time_point start;
     bool killed = false; ///< we timed it out with SIGKILL
-};
-
-/** Append-only, crash-safe journal: one written+fsync'd line each,
- *  through the vio seam (label "journal") so both results are typed
- *  and hostile disks are injectable. */
-class Journal
-{
-  public:
-    Journal(const std::string &path, Vio *vio)
-        : path_(path), vio_(vio != nullptr ? vio : &Vio::system())
-    {}
-
-    void
-    open()
-    {
-        Expected<int> fd = vio_->openFile(
-            "journal", path_, O_WRONLY | O_CREAT | O_APPEND);
-        if (!fd.ok())
-            fatal("cannot open journal '%s': %s", path_.c_str(),
-                  fd.status().message().c_str());
-        fd_ = fd.value();
-    }
-
-    ~Journal()
-    {
-        if (fd_ >= 0)
-            ::close(fd_);
-    }
-
-    /** Append one line durably.  A non-OK result means the line may
-     *  not be on disk — the caller must stop recording side effects. */
-    [[nodiscard]] Status
-    line(const std::string &json)
-    {
-        // Each line carries its own CRC so a torn write (power loss,
-        // SIGKILL mid-write) is detectable on resume.
-        std::string checked = withCrc(json);
-        checked += '\n';
-        if (Status st = vio_->writeAll("journal", fd_, checked.data(),
-                                       checked.size(), path_);
-            !st.ok())
-            return st;
-        // Survive SIGKILL of this runner: the line must be on disk
-        // before the task's side effects are considered recorded.
-        return vio_->fsyncFile("journal", fd_, path_);
-    }
-
-    const std::string &path() const { return path_; }
-
-  private:
-    std::string path_;
-    Vio *vio_;
-    int fd_ = -1;
 };
 
 uint64_t
@@ -591,8 +450,10 @@ main(int argc, char **argv)
             fatal("bad --io-inject: %s", err.c_str());
     }
 
-    Journal journal(journal_path, &vio);
-    journal.open();
+    JsonlJournal journal(journal_path, &vio);
+    if (Status st = journal.open(); !st.ok())
+        fatal("cannot open journal '%s': %s", journal_path.c_str(),
+              st.message().c_str());
 
     const int max_attempts = retries + 1;
     std::vector<Running> running;

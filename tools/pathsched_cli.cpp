@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/generator.hpp"
 #include "interp/interpreter.hpp"
 #include "machine/machine.hpp"
 #include "obs/stats.hpp"
@@ -53,6 +54,10 @@ usage()
     std::printf(
         "usage: pathsched_cli [options]\n"
         "  --workload NAME|all     Table-1 benchmark (default: all)\n"
+        "  --gen SPEC              run a generated workload instead of a\n"
+        "                          Table-1 benchmark, e.g.\n"
+        "                          --gen 'seed=7,branch=tttf'\n"
+        "                          (repeatable; see docs/fuzzing.md)\n"
         "  --config CFG|all        BB, M4, M16, P4, P4e (default: all)\n"
         "  --icache                attach the 32KB direct-mapped cache\n"
         "  --depth N               path-profile depth in branches "
@@ -269,6 +274,7 @@ main(int argc, char **argv)
     setPanicExitCode(3);
 
     std::string workload = "all";
+    std::vector<std::string> gen_specs;
     std::string config = "all";
     std::string dump_paths;
     std::string dump_edges;
@@ -294,6 +300,8 @@ main(int argc, char **argv)
         };
         if (arg == "--workload") {
             workload = next();
+        } else if (arg == "--gen") {
+            gen_specs.push_back(next());
         } else if (arg == "--config") {
             config = next();
         } else if (arg == "--icache") {
@@ -380,6 +388,19 @@ main(int argc, char **argv)
         } else if (arg == "--list") {
             for (const auto &n : workloads::benchmarkNames())
                 std::printf("%s\n", n.c_str());
+            std::printf(
+                "\ngenerator families (use with --gen, e.g. "
+                "--gen 'seed=7,branch=tttf'):\n"
+                "  branch=mixed       per-branch mix of the patterns "
+                "below (default)\n"
+                "  branch=random      data-dependent conditions, no "
+                "periodic structure\n"
+                "  branch=tttf        period-P taken/taken/../not-taken "
+                "branches (alt)\n"
+                "  branch=phased      true for 2P executions, then "
+                "false (ph)\n"
+                "  branch=corr        repeats the previous condition in "
+                "the region\n");
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
@@ -390,11 +411,33 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<std::string> names;
-    if (workload == "all") {
-        names = workloads::benchmarkNames();
+    // The run list: Table-1 benchmarks by name, or generated workloads
+    // when --gen is given (the generator and the Table-1 suite share
+    // the Workload shape, so everything downstream is agnostic).
+    std::vector<workloads::Workload> suite;
+    if (!gen_specs.empty()) {
+        if (workload != "all")
+            fatal("--gen and --workload are mutually exclusive");
+        for (const auto &text : gen_specs) {
+            gen::GenSpec spec;
+            std::string err;
+            if (!gen::GenSpec::parse(text, spec, err))
+                fatal("bad --gen spec '%s': %s", text.c_str(),
+                      err.c_str());
+            gen::Workload gw = gen::generate(spec);
+            workloads::Workload w;
+            w.name = gw.name;
+            w.description = gw.spec.toString();
+            w.group = "gen";
+            w.program = std::move(gw.program);
+            w.train = std::move(gw.train);
+            w.test = std::move(gw.test);
+            suite.push_back(std::move(w));
+        }
+    } else if (workload == "all") {
+        suite = workloads::standardBenchmarks();
     } else {
-        names.push_back(workload);
+        suite.push_back(workloads::makeByName(workload));
     }
 
     if (!load_edges.empty())
@@ -407,11 +450,10 @@ main(int argc, char **argv)
             fatal("--validate-profile needs --load-edges and/or "
                   "--load-paths");
         int exit_code = 0;
-        for (const auto &name : names) {
-            const auto w = workloads::makeByName(name);
+        for (const auto &w : suite) {
             exit_code = std::max(
                 exit_code,
-                validateAgainst(w, name, opts.profileInput.edgeText,
+                validateAgainst(w, w.name, opts.profileInput.edgeText,
                                 opts.profileInput.pathText,
                                 opts.pathParams));
         }
@@ -480,8 +522,8 @@ main(int argc, char **argv)
     if (print_table)
         std::printf("%-8s %-4s %12s %8s %9s %9s %11s\n", "bench", "cfg",
                     "cycles", "miss%", "code(KB)", "sb-exec", "sb-size");
-    for (const auto &name : names) {
-        const auto w = workloads::makeByName(name);
+    for (const auto &w : suite) {
+        const std::string &name = w.name;
         if (!dump_paths.empty())
             dumpPaths(w, dump_paths, opts.pathParams, profile_version);
         if (!dump_edges.empty())
