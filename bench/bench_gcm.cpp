@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The code-motion-vs-duplication trade on the Figure-4 benchmark set:
+ * Click-style global code motion (G4, CFG untouched) against the
+ * paper's path-based superblocks (P4, duplication-heavy) under the
+ * 32 KB I-cache, with BB as the common baseline.
+ *
+ * Expected shape: G4 never expands code, so its miss rate stays at the
+ * BB baseline while P4 pays for its duplication on the large
+ * footprints — but P4 wins cycles wherever compaction across the
+ * duplicated blocks finds parallelism GCM's per-block list scheduling
+ * cannot.  G4e (GCM before path enlargement) should land between.
+ *
+ * Writes BENCH_gcm.json: one row per (benchmark, config) with cycles,
+ * miss rate, code bytes, plus the GCM hoist counters and a
+ * "vsP4"/"vsBB" normalized-cycles metric per G-config row.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "pipeline/backend.hpp"
+
+using namespace pathsched;
+
+int
+main()
+{
+    pipeline::PipelineOptions opts;
+    opts.useICache = true;
+    bench::ExperimentRunner runner(opts);
+    bench::JsonReport report("gcm");
+
+    const std::vector<pipeline::SchedConfig> configs = {
+        pipeline::SchedConfig::BB, pipeline::SchedConfig::P4,
+        pipeline::SchedConfig::G4, pipeline::SchedConfig::G4e};
+
+    std::printf("Global code motion vs path-based duplication "
+                "(32KB I-cache)\n\n");
+    std::printf("%-8s %9s %9s %9s   %9s %9s %9s   %8s\n", "bench",
+                "G4/BB", "G4/P4", "G4e/P4", "BB miss", "P4 miss",
+                "G4 miss", "hoisted");
+
+    const auto benchmarks = bench::allBenchmarks();
+    for (const auto &name : benchmarks) {
+        std::map<pipeline::SchedConfig, const pipeline::PipelineResult *>
+            res;
+        for (pipeline::SchedConfig c : configs)
+            res[c] = &runner.run(name, c);
+        const auto &bb = *res[pipeline::SchedConfig::BB];
+        const auto &p4 = *res[pipeline::SchedConfig::P4];
+        const auto &g4 = *res[pipeline::SchedConfig::G4];
+        const auto &g4e = *res[pipeline::SchedConfig::G4e];
+
+        auto rate = [](const pipeline::PipelineResult &r) {
+            return r.test.icacheAccesses == 0
+                       ? 0.0
+                       : 100.0 * double(r.test.icacheMisses) /
+                             double(r.test.icacheAccesses);
+        };
+        std::printf("%-8s %9.3f %9.3f %9.3f   %8.2f%% %8.2f%% %8.2f%%"
+                    "   %8llu\n",
+                    name.c_str(),
+                    double(g4.test.cycles) / double(bb.test.cycles),
+                    double(g4.test.cycles) / double(p4.test.cycles),
+                    double(g4e.test.cycles) / double(p4.test.cycles),
+                    rate(bb), rate(p4), rate(g4),
+                    static_cast<unsigned long long>(g4.gcm.hoisted));
+
+        for (pipeline::SchedConfig c : configs) {
+            const pipeline::PipelineResult &r = *res[c];
+            report.row(name, r);
+            report.metric("degraded", double(r.degraded.size()));
+            report.metric("vsBB", double(r.test.cycles) /
+                                      double(bb.test.cycles));
+            report.metric("vsP4", double(r.test.cycles) /
+                                      double(p4.test.cycles));
+            if (pipeline::backendFor(c).usesGcm) {
+                report.metric("gcmCandidates",
+                              double(r.gcm.candidates));
+                report.metric("gcmHoisted", double(r.gcm.hoisted));
+                report.metric("gcmLoopHoisted",
+                              double(r.gcm.loopHoisted));
+                report.metric("gcmLatencyHoisted",
+                              double(r.gcm.latencyHoisted));
+            }
+        }
+    }
+
+    return report.write() ? 0 : 1;
+}

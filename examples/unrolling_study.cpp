@@ -26,7 +26,7 @@ study(const workloads::Workload &w)
          {pipeline::SchedConfig::M4, pipeline::SchedConfig::P4}) {
         const auto r = pipeline::runPipeline(w.program, w.train, w.test,
                                              config, opts);
-        if (config == pipeline::SchedConfig::M4)
+        if (r.name == "M4")
             m4_cycles = r.test.cycles;
         std::printf(
             "  %-3s  cycles=%9llu (%.3f vs M4)   superblock: "

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "pipeline/backend.hpp"
 #include "pipeline/pipeline.hpp"
 #include "support/strutil.hpp"
 #include "workloads/workloads.hpp"
@@ -27,13 +28,12 @@ main()
 
     pipeline::PipelineOptions opts;
     uint64_t m4_cycles = 0;
-    for (const auto config :
-         {pipeline::SchedConfig::BB, pipeline::SchedConfig::M4,
-          pipeline::SchedConfig::M16, pipeline::SchedConfig::P4,
-          pipeline::SchedConfig::P4e}) {
+    // Every registered backend, in registry order — a new backend shows
+    // up in this table with no edit here.
+    for (const pipeline::BackendDesc *be : pipeline::allBackends()) {
         const auto r = pipeline::runPipeline(w.program, w.train, w.test,
-                                             config, opts);
-        if (config == pipeline::SchedConfig::M4)
+                                             be->config, opts);
+        if (r.name == "M4")
             m4_cycles = r.test.cycles;
         std::printf("%-5s %12llu %8s %9llu %10llu %8llu %5.1f/%.1f\n",
                     r.name.c_str(), (unsigned long long)r.test.cycles,

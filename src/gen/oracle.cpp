@@ -7,6 +7,7 @@
 
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "pipeline/backend.hpp"
 #include "profile/edge_profile.hpp"
 #include "profile/path_profile.hpp"
 #include "profile/serialize.hpp"
@@ -236,8 +237,13 @@ OracleResult::report() const
 std::vector<SchedConfig>
 allConfigs()
 {
-    return {SchedConfig::BB, SchedConfig::M4, SchedConfig::M16,
-            SchedConfig::P4, SchedConfig::P4e};
+    // Registry-driven: a newly registered backend joins the oracle's
+    // cross-config sweep (and, through it, the fuzz driver and the
+    // corpus replays) with no edit here.
+    std::vector<SchedConfig> out;
+    for (const pipeline::BackendDesc *be : pipeline::allBackends())
+        out.push_back(be->config);
+    return out;
 }
 
 OracleResult

@@ -10,6 +10,7 @@
 #include "ir/verifier.hpp"
 #include "layout/code_layout.hpp"
 #include "layout/pettis_hansen.hpp"
+#include "pipeline/backend.hpp"
 #include "pipeline/cache.hpp"
 #include "profile/edge_profile.hpp"
 #include "profile/serialize.hpp"
@@ -39,91 +40,8 @@ PipelineResult::budgetDegradations() const
     return n;
 }
 
-const char *
-configName(SchedConfig config)
-{
-    switch (config) {
-      case SchedConfig::BB: return "BB";
-      case SchedConfig::M4: return "M4";
-      case SchedConfig::M16: return "M16";
-      case SchedConfig::P4: return "P4";
-      case SchedConfig::P4e: return "P4e";
-    }
-    return "<bad>";
-}
-
-// The one-release shim: normalized() is the single place that still
-// reads the deprecated flat fields.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-PipelineOptions
-PipelineOptions::normalized() const
-{
-    PipelineOptions n = *this;
-    if (!n.budget.unlimited())
-        n.robustness.budget = n.budget;
-    if (n.observer != nullptr)
-        n.observability.observer = n.observer;
-    if (n.interpStats)
-        n.observability.interpStats = true;
-    if (!n.edgeProfileText.empty())
-        n.profileInput.edgeText = n.edgeProfileText;
-    if (!n.pathProfileText.empty())
-        n.profileInput.pathText = n.pathProfileText;
-    if (n.profileCheck != profile::AdmissionMode::Repair)
-        n.profileInput.check = n.profileCheck;
-    if (n.profileFlowSlack != 1)
-        n.profileInput.flowSlack = n.profileFlowSlack;
-    if (n.faults != nullptr)
-        n.robustness.faults = n.faults;
-    // Reset the flat fields so normalizing twice changes nothing.
-    n.budget = ResourceBudget();
-    n.observer = nullptr;
-    n.interpStats = false;
-    n.edgeProfileText.clear();
-    n.pathProfileText.clear();
-    n.profileCheck = profile::AdmissionMode::Repair;
-    n.profileFlowSlack = 1;
-    n.faults = nullptr;
-    return n;
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
-form::FormConfig
-formConfigFor(SchedConfig config, const PipelineOptions &options)
-{
-    form::FormConfig fc;
-    fc.completionThreshold = options.completionThreshold;
-    fc.maxInstrs = options.maxInstrs;
-    fc.enlarge = options.enlarge;
-    fc.growUpward = options.growUpward;
-    switch (config) {
-      case SchedConfig::BB:
-        break; // unused
-      case SchedConfig::M4:
-        fc.mode = form::ProfileMode::Edge;
-        fc.unrollFactor = 4;
-        break;
-      case SchedConfig::M16:
-        fc.mode = form::ProfileMode::Edge;
-        fc.unrollFactor = 16;
-        break;
-      case SchedConfig::P4:
-        fc.mode = form::ProfileMode::Path;
-        fc.maxLoopHeads = 4;
-        break;
-      case SchedConfig::P4e:
-        fc.mode = form::ProfileMode::Path;
-        fc.maxLoopHeads = 4;
-        fc.nonLoopStopsAtAnyHead = true;
-        break;
-    }
-    return fc;
-}
+// configName and formConfigFor live in backend.cpp, beside the
+// registrations whose descriptors they reflect.
 
 namespace {
 
@@ -167,7 +85,8 @@ class MsAccum
  */
 struct ProcCtx
 {
-    form::FormStats form;
+    /** Backend transform counters (form and/or gcm, per descriptor). */
+    TransformStats xf;
     sched::CompactStats compact;
     regalloc::AllocStats alloc;
     sched::ScheduleStats postsched;
@@ -206,8 +125,10 @@ hashU64s(std::initializer_list<uint64_t> vals)
 }
 
 /** Bump when anything about the transform chain's semantics changes,
- *  so stale --cache-dir entries from older builds can never hit. */
-constexpr uint64_t kCacheSchema = 1;
+ *  so stale --cache-dir entries from older builds can never hit.
+ *  2: backend-registry key layout (backend name + per-family knobs
+ *  hash replace the enum value + flat knob fields), gcm entry stats. */
+constexpr uint64_t kCacheSchema = 2;
 
 } // namespace
 
@@ -216,10 +137,11 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
             const interp::ProgramInput &test, SchedConfig config,
             const PipelineOptions &options)
 {
-    const PipelineOptions opt = options.normalized();
+    const PipelineOptions &opt = options;
+    const BackendDesc &be = backendFor(config);
     PipelineResult result;
     result.config = config;
-    result.name = configName(config);
+    result.name = be.name;
     {
         Status st = ir::verifyStatus(program, ir::VerifyMode::Strict);
         if (!st.ok()) {
@@ -271,10 +193,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         iopts.deadline = bud.deadline;
         iopts.collectCallCounts = true;
         interp::Interpreter interp(program, iopts);
-        const bool need_edge = config == SchedConfig::M4 ||
-                               config == SchedConfig::M16;
-        const bool need_path = config == SchedConfig::P4 ||
-                               config == SchedConfig::P4e;
+        const bool need_edge = be.needsEdgeProfile();
+        const bool need_path = be.needsPathProfile();
         if (need_edge)
             interp.addListener(&edge_profile);
         if (need_path)
@@ -333,10 +253,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     const profile::PathProfiler *path_for_form = &path_profile;
     profile::ProfileAudit &audit = result.profileAudit;
     {
-        const bool need_edge = config == SchedConfig::M4 ||
-                               config == SchedConfig::M16;
-        const bool need_path = config == SchedConfig::P4 ||
-                               config == SchedConfig::P4e;
+        const bool need_edge = be.needsEdgeProfile();
+        const bool need_path = be.needsPathProfile();
         profile::ValidateOptions vo;
         vo.mode = opt.profileInput.check;
         vo.flowSlack = opt.profileInput.flowSlack;
@@ -525,15 +443,12 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     const bool cache_usable =
         cache != nullptr && !ops_budgeted && faults == nullptr;
     if (cache_usable) {
-        const bool edge_cfg = config == SchedConfig::M4 ||
-                              config == SchedConfig::M16;
-        const bool path_cfg = config == SchedConfig::P4 ||
-                              config == SchedConfig::P4e;
-        // Per-procedure profile content hash.  Record hashes combine
-        // by wrapping addition: the profilers iterate hash maps, whose
-        // order must not leak into the key.
+        // Per-procedure profile content hash over every profile kind
+        // the backend consumes.  Record hashes combine by wrapping
+        // addition: the profilers iterate hash maps, whose order must
+        // not leak into the key.
         std::vector<uint64_t> prof_hash(num_procs, 0);
-        if (edge_cfg) {
+        if (be.needsEdgeProfile()) {
             edge_for_form->forEachBlock(
                 [&](ir::ProcId p, ir::BlockId b, uint64_t count) {
                     prof_hash[p] += hashU64s({1, b, count});
@@ -543,7 +458,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                                            uint64_t count) {
                 prof_hash[p] += hashU64s({2, f, t, count});
             });
-        } else if (path_cfg) {
+        }
+        if (be.needsPathProfile()) {
             path_for_form->forEachPath(
                 [&](ir::ProcId p, const std::vector<ir::BlockId> &seq,
                     uint64_t count) {
@@ -554,10 +470,6 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                 });
         }
         const uint64_t machine_hash = hashMachineModel(opt.machine);
-        uint64_t cfg_bits = 0;
-        static_assert(sizeof cfg_bits == sizeof opt.completionThreshold);
-        std::memcpy(&cfg_bits, &opt.completionThreshold,
-                    sizeof cfg_bits);
         std::string body;
         for (size_t p = 0; p < num_procs; ++p) {
             ProcCtx &ctx = ctxs[p];
@@ -567,23 +479,20 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                 continue;
             body.clear();
             serializeProcedure(program.procs[p], body);
+            // Common material first, then the backend's own knobs —
+            // each family keys on exactly the knobs it reads.
             KeyHasher h;
             h.u64(kCacheSchema)
-                .u64(uint64_t(config))
+                .str(be.name)
                 .str(body)
                 .u64(profile::cfgFingerprint(program.procs[p]))
                 .u64(prof_hash[p])
                 .u64(machine_hash)
-                .u64(cfg_bits)
-                .u64(opt.maxInstrs)
-                .u64(opt.enlarge ? 1 : 0)
-                .u64(opt.growUpward ? 1 : 0)
                 .u64(uint64_t(opt.schedPriority))
                 .u64(opt.registerAllocate ? 1 : 0)
-                .u64(opt.pathParams.maxBranches)
-                .u64(opt.pathParams.maxBlocks)
-                .u64(opt.pathParams.forwardPathsOnly ? 1 : 0)
                 .u64(opt.registerAllocate && recursive[p] ? 1 : 0);
+            if (be.knobsHash != nullptr)
+                be.knobsHash(h, opt);
             ctx.key = h.key();
         }
     }
@@ -599,7 +508,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
             return false;
         prog.procs[p] = std::move(e.proc);
         prog.procs[p].syncSideTables();
-        ctx.form = e.form;
+        ctx.xf.form = e.form;
+        ctx.xf.gcm = e.gcm;
         ctx.compact = e.compact;
         ctx.alloc = e.alloc;
         ctx.spill.slots = e.spillSlots;
@@ -614,7 +524,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         StageCache::Entry e;
         e.proc = prog.procs[p];
         e.spillSlots = ctx.spill.slots;
-        e.form = ctx.form;
+        e.form = ctx.xf.form;
+        e.gcm = ctx.xf.gcm;
         e.compact = ctx.compact;
         e.alloc = ctx.alloc;
         cache->insert(ctx.key, e);
@@ -652,24 +563,16 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                   program.procs[p].name.c_str(), st.toString().c_str());
     };
 
-    // --- Phase A: form -> compact -> regalloc, one chain per
+    // --- Phase A: transform -> compact -> regalloc, one chain per
     //     procedure.  Nodes are inserted stage-major so the 1-thread
-    //     ready-FIFO order replays the historical serial loops. ---
-    form::FormConfig fc, fc_proj;
-    if (config != SchedConfig::BB) {
-        fc = formConfigFor(config, opt);
-        // Degradation cascade for procedures whose path profile lost
-        // windows to admission but still projects consistently: form
-        // them edge-driven (M4-style) from the projection.
-        fc_proj = fc;
-        fc_proj.mode = form::ProfileMode::Edge;
-        fc_proj.unrollFactor = 4;
-    }
-
-    auto formTask = [&](ir::ProcId p) {
+    //     ready-FIFO order replays the historical serial loops.  The
+    //     transform stage is the backend's descriptor entry point —
+    //     the pipeline only owns the chain plumbing (quarantine,
+    //     cache, budget view, injection hook). ---
+    auto transformTask = [&](ir::ProcId p) {
         ProcCtx &ctx = ctxs[p];
         MsAccum acc(ctx.formMs);
-        if (deadlineUp("form"))
+        if (deadlineUp(be.transformLabel))
             return;
         const profile::ProcAudit *pa =
             audit.enabled ? audit.findProc(p) : nullptr;
@@ -683,25 +586,22 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         }
         if (tryCacheRestore(ctx, p))
             return;
-        const bool use_proj =
+        TransformContext tc;
+        tc.config = config;
+        tc.opt = &opt;
+        tc.edge = edge_for_form;
+        tc.path = path_for_form;
+        tc.projectedEdge = &proj_edge;
+        tc.useProjectedEdges =
             pa && pa->action == profile::ProcAction::ProjectedEdges;
-        form::FormConfig my_fc = use_proj ? fc_proj : fc;
-        const obs::Observer form_obs = ctx.timed.withPrefix("form.");
-        my_fc.observer = &form_obs;
-        my_fc.budget = budgetFor(p);
-        const char *stage = "form";
-        Status st = inject(stage, p);
-        if (st.ok())
-            st = use_proj
-                     ? form::formProcedure(prog, p, &proj_edge, nullptr,
-                                           my_fc, ctx.form)
-                     : form::formProcedure(prog, p, edge_for_form,
-                                           path_for_form, my_fc,
-                                           ctx.form);
-        if (st.ok()) {
-            stage = "materialize";
-            st = inject(stage, p);
-        }
+        tc.timed = &ctx.timed;
+        tc.budget = budgetFor(p);
+        if (faults != nullptr)
+            tc.inject = [&inject, p](const char *stage) {
+                return inject(stage, p);
+            };
+        const char *stage = be.transformLabel;
+        Status st = be.transform(prog, p, tc, ctx.xf, &stage);
         if (!st.ok()) {
             noteFailureTo(ctx.degraded, p, stage, st);
             rebuildInChain(ctx, p, StageReached::Form);
@@ -715,9 +615,9 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
             return;
         if (deadlineUp("compact"))
             return;
-        // For the BB config this is the chain head: the cache lookup
-        // lives here.
-        if (config == SchedConfig::BB && tryCacheRestore(ctx, p))
+        // For transform-less backends (the BB baseline) this is the
+        // chain head: the cache lookup lives here.
+        if (!be.hasTransform() && tryCacheRestore(ctx, p))
             return;
         sched::CompactOptions copts;
         copts.priority = opt.schedPriority;
@@ -763,10 +663,11 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     {
         TaskGraph graph;
         std::vector<size_t> prev(num_procs, SIZE_MAX);
-        if (config != SchedConfig::BB) {
+        if (be.hasTransform()) {
             for (ir::ProcId p = 0; p < num_procs; ++p)
-                prev[p] = graph.add([&formTask, p] { formTask(p); }, {},
-                                    int(p));
+                prev[p] = graph.add(
+                    [&transformTask, p] { transformTask(p); }, {},
+                    int(p));
         }
         for (ir::ProcId p = 0; p < num_procs; ++p) {
             const std::vector<size_t> deps =
@@ -793,7 +694,8 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
     double form_ms = 0, compact_ms = 0, regalloc_ms = 0;
     for (size_t p = 0; p < num_procs; ++p) {
         ProcCtx &ctx = ctxs[p];
-        result.form += ctx.form;
+        result.form += ctx.xf.form;
+        result.gcm += ctx.xf.gcm;
         result.compact += ctx.compact;
         result.alloc += ctx.alloc;
         for (auto &d : ctx.degraded)
@@ -824,9 +726,12 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
         result.status = std::move(deadline_status);
         return result;
     }
-    if (config != SchedConfig::BB) {
-        result.stages.push_back({"form", form_ms});
-        timed.addSample("form.total", form_ms);
+    if (be.hasTransform()) {
+        result.stages.push_back({be.transformLabel, form_ms});
+        timed.addSample(std::string(be.transformLabel) + ".total",
+                        form_ms);
+    }
+    if (be.formsSuperblocks) {
         base.addCounter("form" + cfg_dot + "tracesSelected",
                         result.form.tracesSelected);
         base.addCounter("form" + cfg_dot + "multiBlockTraces",
@@ -839,6 +744,16 @@ runPipeline(const ir::Program &program, const interp::ProgramInput &train,
                         result.form.blocksDuplicated);
         base.addCounter("form" + cfg_dot + "unreachableRemoved",
                         result.form.unreachableRemoved);
+    }
+    if (be.usesGcm) {
+        base.addCounter("gcm" + cfg_dot + "candidates",
+                        result.gcm.candidates);
+        base.addCounter("gcm" + cfg_dot + "hoisted",
+                        result.gcm.hoisted);
+        base.addCounter("gcm" + cfg_dot + "loopHoisted",
+                        result.gcm.loopHoisted);
+        base.addCounter("gcm" + cfg_dot + "latencyHoisted",
+                        result.gcm.latencyHoisted);
     }
     result.stages.push_back({"compact", compact_ms});
     timed.addSample("compact.total", compact_ms);

@@ -47,6 +47,7 @@
 #include "profile/validate.hpp"
 #include "regalloc/linear_scan.hpp"
 #include "sched/compact.hpp"
+#include "sched/gcm.hpp"
 #include "support/budget.hpp"
 #include "support/faultinject.hpp"
 #include "support/status.hpp"
@@ -55,7 +56,13 @@ namespace pathsched::pipeline {
 
 class StageCache;
 
-/** The paper's scheduling configurations (§4). */
+/**
+ * The scheduling configurations: the paper's five (§4) plus the GCM
+ * family.  An enumerator is only a stable identifier — everything a
+ * configuration *means* (its name, profile needs, transform stage,
+ * cache-key knobs) lives in its BackendDesc (pipeline/backend.hpp);
+ * query the descriptor instead of comparing enumerators.
+ */
 enum class SchedConfig
 {
     BB,  ///< basic-block scheduling (Table 1 baseline)
@@ -63,6 +70,8 @@ enum class SchedConfig
     M16, ///< edge profile, mutual-most-likely, unroll factor 16
     P4,  ///< path profile, <= 4 superblock-loop heads (§2.2)
     P4e, ///< P4 with non-loop superblocks capped at tail duplication
+    G4,  ///< Click-style global code motion on the original CFG
+    G4e, ///< G4 followed by P4-style path-driven enlargement
 };
 
 /** Short display name, e.g. "P4e". */
@@ -117,7 +126,7 @@ struct RobustnessOptions
     /**
      * Optional fault injector (not owned; see support/faultinject.hpp).
      * runPipeline consults it at every per-procedure stage boundary
-     * ("form", "materialize", "compact", "regalloc", "verify",
+     * ("form", "materialize", "gcm", "compact", "regalloc", "verify",
      * "output-compare") and treats a hit exactly like a real failure
      * of that stage, degrading the procedure to BB.  Quarantined
      * procedures and the BB fallback itself are never re-injected, so
@@ -205,56 +214,7 @@ struct PipelineOptions
     ExecutorOptions executor;
     /** @} */
 
-    /** @name Deprecated flat fields (one-release shim)
-     *
-     * The pre-v2 flat spellings of the grouped options.  runPipeline
-     * folds a non-default flat value into the matching group field via
-     * normalized(), flat winning over the group's default, so old call
-     * sites keep working unchanged for one release.  New code sets the
-     * groups (directly or through Builder).
-     * @{
-     */
-    [[deprecated("use robustness.budget")]]
-    ResourceBudget budget;
-    [[deprecated("use observability.observer")]]
-    const obs::Observer *observer = nullptr;
-    [[deprecated("use observability.interpStats")]]
-    bool interpStats = false;
-    [[deprecated("use profileInput.edgeText")]]
-    std::string edgeProfileText;
-    [[deprecated("use profileInput.pathText")]]
-    std::string pathProfileText;
-    [[deprecated("use profileInput.check")]]
-    profile::AdmissionMode profileCheck = profile::AdmissionMode::Repair;
-    [[deprecated("use profileInput.flowSlack")]]
-    uint64_t profileFlowSlack = 1;
-    [[deprecated("use robustness.faults")]]
-    FaultInjector *faults = nullptr;
-    /** @} */
-
-    /** A copy with every non-default deprecated flat field folded into
-     *  its option group (the flat value wins).  runPipeline calls this
-     *  on entry; normalizing twice is idempotent. */
-    PipelineOptions normalized() const;
-
     class Builder;
-
-    // Defaulted here, inside the suppression region, so copying a
-    // PipelineOptions does not spray deprecation warnings about the
-    // shim fields into every caller's translation unit.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-    PipelineOptions() = default;
-    PipelineOptions(const PipelineOptions &) = default;
-    PipelineOptions(PipelineOptions &&) = default;
-    PipelineOptions &operator=(const PipelineOptions &) = default;
-    PipelineOptions &operator=(PipelineOptions &&) = default;
-    ~PipelineOptions() = default;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 };
 
 /**
@@ -274,7 +234,7 @@ class PipelineOptions::Builder
 {
   public:
     Builder() = default;
-    /** Start from existing options (their flat shim state included). */
+    /** Start from existing options. */
     explicit Builder(const PipelineOptions &base) : o_(base) {}
 
     Builder &machine(const machine::MachineModel &m)
@@ -344,10 +304,10 @@ struct Degradation
     ir::ProcId proc = 0;
     std::string procName;
     /** Stage boundary that failed: "profile" (admission quarantined
-     *  the procedure before formation), "form", "materialize",
-     *  "compact", "regalloc", "verify", "output-compare", or "interp"
-     *  (the measured test run blew its step budget inside this
-     *  procedure). */
+     *  the procedure before its transform), "form", "materialize",
+     *  "gcm", "compact", "regalloc", "verify", "output-compare", or
+     *  "interp" (the measured test run blew its step budget inside
+     *  this procedure). */
     std::string stage;
     ErrorKind kind = ErrorKind::Injected;
     std::string message;
@@ -373,6 +333,7 @@ struct PipelineResult
 
     interp::RunResult test;   ///< the measured (transformed) test run
     form::FormStats form;
+    sched::GcmStats gcm;      ///< global code motion (G4 family only)
     sched::CompactStats compact;
     regalloc::AllocStats alloc;
 

@@ -1,0 +1,265 @@
+#include "sched/gcm.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "analysis/dominators.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/loops.hpp"
+#include "ir/verifier.hpp"
+
+namespace pathsched::sched {
+
+namespace {
+
+/** Loop-nesting depth per block: how many natural-loop bodies contain
+ *  it.  Irreducible regions simply count the loops found, which is the
+ *  conservative (hoist-less) direction. */
+std::vector<uint32_t>
+computeLoopDepth(const ir::Procedure &proc, const analysis::LoopInfo &loops)
+{
+    std::vector<uint32_t> depth(proc.blocks.size(), 0);
+    for (const analysis::NaturalLoop &l : loops.loops()) {
+        for (ir::BlockId b : l.body)
+            ++depth[b];
+    }
+    return depth;
+}
+
+/** Placement desirability of a block: lexicographic (loop depth,
+ *  profiled frequency).  Lower is better. */
+struct PlaceKey
+{
+    uint32_t depth = 0;
+    uint64_t freq = 0;
+
+    bool
+    operator<(const PlaceKey &o) const
+    {
+        if (depth != o.depth)
+            return depth < o.depth;
+        return freq < o.freq;
+    }
+    bool
+    operator==(const PlaceKey &o) const
+    {
+        return depth == o.depth && freq == o.freq;
+    }
+};
+
+/**
+ * One instruction's hoist analysis.  Scratch vectors live here so the
+ * per-candidate region walk allocates nothing in steady state.
+ */
+class Hoister
+{
+  public:
+    Hoister(const ir::Procedure &proc,
+            const std::vector<std::vector<ir::BlockId>> &preds)
+        : proc_(proc), preds_(preds), inRegion_(proc.blocks.size(), 0)
+    {}
+
+    /**
+     * True when the instruction at @p b[@p idx] (destination @p dst,
+     * sources @p srcs) may move to the end of dominator @p D — see the
+     * file comment of gcm.hpp for the conditions.  @p live must be
+     * current for the procedure's present body.
+     */
+    bool
+    safeAt(ir::BlockId b, size_t idx, ir::RegId dst,
+           const std::vector<ir::RegId> &srcs, ir::BlockId D,
+           const analysis::Liveness &live)
+    {
+        // Region: every block that can execute between the last
+        // occurrence of D and the next arrival at b — backward
+        // reachability from b that never crosses D.  b is in the
+        // region; D is not.  When the walk re-reaches b itself, b lies
+        // on a D-free cycle: control can pass through ALL of b (the
+        // suffix after idx included) on its way back to idx, so the
+        // whole block is on a D->b path, not just the prefix.
+        std::fill(inRegion_.begin(), inRegion_.end(), 0);
+        stack_.clear();
+        inRegion_[b] = 1;
+        stack_.push_back(b);
+        bool cyclic = false;
+        while (!stack_.empty()) {
+            ir::BlockId x = stack_.back();
+            stack_.pop_back();
+            for (ir::BlockId p : preds_[x]) {
+                if (p == D)
+                    continue;
+                if (p == b)
+                    cyclic = true; // already in region; just note it
+                if (inRegion_[p])
+                    continue;
+                inRegion_[p] = 1;
+                stack_.push_back(p);
+            }
+        }
+
+        // (a) No definition of any source anywhere in the region: the
+        // value computed at the end of D must equal the value the
+        // original position would compute, on every D->idx path —
+        // including, when b is on a D-free cycle, paths through b's
+        // own suffix (a loop-carried source update lives exactly
+        // there).  (b) No definition of the destination other than the
+        // candidate itself: a second def merging into the same
+        // register would be clobbered.  Uses of the destination need
+        // no scan — a use the candidate itself feeds is killed at idx
+        // and invariant by (a); any other use is upward-exposed
+        // through the (def-free, by (b)) region into liveIn of one of
+        // D's successors, which (d) rejects.
+        for (ir::BlockId x = 0; x < proc_.blocks.size(); ++x) {
+            if (!inRegion_[x])
+                continue;
+            const auto &instrs = proc_.blocks[x].instrs;
+            const size_t limit =
+                (x == b && !cyclic) ? idx : instrs.size();
+            for (size_t j = 0; j < limit; ++j) {
+                if (x == b && j == idx)
+                    continue; // the candidate itself
+                const ir::Instruction &J = instrs[j];
+                if (J.hasDst() &&
+                    (J.dst == dst ||
+                     std::find(srcs.begin(), srcs.end(), J.dst) !=
+                         srcs.end()))
+                    return false;
+            }
+        }
+
+        // (c) The insertion point is just before D's terminator, which
+        // must therefore not read the destination.
+        proc_.blocks[D].terminator().sources(tmpSrcs_);
+        if (std::find(tmpSrcs_.begin(), tmpSrcs_.end(), dst) !=
+            tmpSrcs_.end())
+            return false;
+
+        // (d) The hoisted instruction writes dst at the end of every D
+        // execution, speculatively on paths that never reach idx: the
+        // old value of dst must be dead at D's exit.  liveIn here is
+        // the pre-move solution, so the candidate's own consumers
+        // (killed at idx) do not surface — anything that does surface
+        // would genuinely read the clobbered value.
+        ir::successorsOf(proc_.blocks[D], tmpSuccs_);
+        for (ir::BlockId y : tmpSuccs_) {
+            if (live.liveIn(y).test(dst))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    const ir::Procedure &proc_;
+    const std::vector<std::vector<ir::BlockId>> &preds_;
+    std::vector<uint8_t> inRegion_;
+    std::vector<ir::BlockId> stack_;
+    std::vector<ir::RegId> tmpSrcs_;
+    std::vector<ir::BlockId> tmpSuccs_;
+};
+
+/** A GCM-movable instruction: speculable (total, side-effect free),
+ *  memory-free (LdSpec still reads memory a store could change),
+ *  register-writing, and idempotent (dst is not also a source). */
+bool
+movable(const ir::Instruction &I, std::vector<ir::RegId> &srcs)
+{
+    if (!I.isSpeculable() || I.touchesMemory() || !I.hasDst())
+        return false;
+    I.sources(srcs);
+    return std::find(srcs.begin(), srcs.end(), I.dst) == srcs.end();
+}
+
+} // namespace
+
+Status
+gcmProcedure(ir::Program &prog, ir::ProcId proc, const GcmOptions &options,
+             GcmStats &stats)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    ir::Procedure &p = prog.procs[proc];
+    const auto preds = ir::computePreds(p);
+    const analysis::Dominators doms(p);
+    const analysis::LoopInfo loops(p, doms);
+    const std::vector<uint32_t> loop_depth = computeLoopDepth(p, loops);
+
+    auto freqOf = [&](ir::BlockId b) -> uint64_t {
+        if (options.blockFreq == nullptr ||
+            b >= options.blockFreq->size())
+            return 0;
+        return (*options.blockFreq)[b];
+    };
+    auto keyOf = [&](ir::BlockId b) -> PlaceKey {
+        return {loop_depth[b], freqOf(b)};
+    };
+
+    analysis::Liveness live(p);
+    Hoister hoister(p, preds);
+    std::vector<ir::RegId> srcs;
+
+    for (ir::BlockId b = 0; b < p.blocks.size(); ++b) {
+        if (!doms.reachable(b) || doms.idom(b) == b)
+            continue; // unreachable, or the entry (nothing dominates it)
+        Status st = deadlineStatus(options.budget, "gcm");
+        if (!st.ok())
+            return st;
+        auto &instrs = p.blocks[b].instrs;
+        for (size_t i = 0; i + 1 < instrs.size();) {
+            if (!movable(instrs[i], srcs)) {
+                ++i;
+                continue;
+            }
+            ++stats.candidates;
+            const ir::RegId dst = instrs[i].dst;
+            const uint32_t lat =
+                options.machine != nullptr
+                    ? options.machine->latencyOf(instrs[i].op)
+                    : 1;
+            const PlaceKey origin_key = keyOf(b);
+            ir::BlockId best = b;
+            PlaceKey best_key = origin_key;
+            // Walk the dominator chain upward.  The unsafe region only
+            // grows with distance, so the first illegal candidate ends
+            // the walk.
+            for (ir::BlockId D = doms.idom(b);;) {
+                if (!hoister.safeAt(b, i, dst, srcs, D, live))
+                    break;
+                const PlaceKey k = keyOf(D);
+                // Ties keep the latest placement — unless the latency
+                // is worth overlapping, in which case they hoist.
+                if (k < best_key || (lat >= 2 && k == best_key)) {
+                    best = D;
+                    best_key = k;
+                }
+                if (doms.idom(D) == D)
+                    break; // reached the entry
+                D = doms.idom(D);
+            }
+            if (best == b) {
+                ++i;
+                continue;
+            }
+            auto &dest = p.blocks[best].instrs;
+            dest.insert(dest.end() - 1, instrs[i]);
+            instrs.erase(instrs.begin() + ptrdiff_t(i));
+            ++stats.hoisted;
+            if (best_key.depth < origin_key.depth)
+                ++stats.loopHoisted;
+            else if (best_key == origin_key)
+                ++stats.latencyHoisted;
+            // Motion changes live ranges; the exit-liveness check needs
+            // a fresh solution before the next candidate.
+            live = analysis::Liveness(p);
+            // do not advance i: the next instruction shifted into place
+        }
+    }
+
+    if (options.observer != nullptr) {
+        options.observer->addSample(
+            "placeMs", std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+    }
+    return ir::verifyProcStatus(prog, proc, ir::VerifyMode::Strict);
+}
+
+} // namespace pathsched::sched

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Global Code Motion (Click, PLDI'95) over the strict-form CFG.
+ *
+ * The superblock pipeline buys global motion by duplicating code until
+ * the motion is local (form -> compact).  GCM is the opposite trade:
+ * leave the CFG alone and move individual instructions between existing
+ * blocks along the dominator tree.  gcmProcedure() hoists each movable
+ * instruction to the best legal block on its dominator chain:
+ *
+ *  - *legal*: the placement range is bounded early by the instruction's
+ *    dependences and late by its original block, exactly Click's
+ *    early/late interval restricted to blocks that dominate the
+ *    original position.  Because this IR is not SSA, legality is
+ *    re-derived from first principles per candidate block D over the
+ *    region control can traverse between D and the original position
+ *    (backward reachability from the original block that stops at D —
+ *    when the original block sits on a D-free cycle its own tail is
+ *    part of that region, which is where loop-carried updates live):
+ *    no definition of a source register and no definition of the
+ *    destination other than the candidate itself anywhere in the
+ *    region, the destination dead at D's exit (so the hoisted,
+ *    possibly speculative, execution can never clobber a live value;
+ *    uses fed by the candidate itself are killed at the original
+ *    position and never surface there), and D's terminator must not
+ *    read the destination (the insertion point precedes it).
+ *  - *best*: minimal loop depth, then minimal profiled block frequency
+ *    ("loop-depth-aware late scheduling"); ties keep the instruction as
+ *    late (as close to its original block) as possible — except for
+ *    long-latency instructions, which hoist to the earliest tied block
+ *    so their latency overlaps the branches in between ("latency-aware
+ *    hoisting", the `lat >= 2 ? late->dom : late` rule of the cuik
+ *    exemplar).
+ *
+ * Only speculable, memory-free, register-writing instructions move
+ * (ALU/compare/Mov/Ldi): St/Emit/Call/branches are pinned by side
+ * effects, Ld by its faulting address check, and LdSpec by stores it
+ * could move across.  Instructions whose destination doubles as a
+ * source are pinned too — re-executing them on a cycle through the
+ * target block would not be idempotent.
+ *
+ * Runs before compaction on strict blocks only; the per-block list
+ * scheduler then overlaps whatever ended up in each block.  Follows the
+ * src/pipeline/stages.hpp conventions: per-procedure, Status-returning,
+ * deadline-polled.
+ */
+
+#ifndef PATHSCHED_SCHED_GCM_HPP
+#define PATHSCHED_SCHED_GCM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/procedure.hpp"
+#include "machine/machine.hpp"
+#include "obs/timer.hpp"
+#include "support/budget.hpp"
+#include "support/status.hpp"
+
+namespace pathsched::sched {
+
+/** Everything configurable about one GCM run. */
+struct GcmOptions
+{
+    /** Machine model; its latencies drive latency-aware hoisting.
+     *  Null behaves as unit latency (no latency-motivated motion). */
+    const machine::MachineModel *machine = nullptr;
+    /**
+     * Per-block execution frequencies of the procedure (index = block
+     * id), the profile-guided placement signal.  Null or short vectors
+     * read as frequency 0, turning the frequency tie-break off.
+     */
+    const std::vector<uint64_t> *blockFreq = nullptr;
+    /** Optional timing sink (the caller picks the prefix). */
+    const obs::Observer *observer = nullptr;
+    /** Optional budget; only the deadline is polled (per block). */
+    const ResourceBudget *budget = nullptr;
+};
+
+/** Counters reported by gcmProcedure (deterministic). */
+struct GcmStats
+{
+    uint64_t candidates = 0;     ///< movable instructions examined
+    uint64_t hoisted = 0;        ///< instructions moved to a dominator
+    uint64_t loopHoisted = 0;    ///< subset moved to a shallower loop depth
+    uint64_t latencyHoisted = 0; ///< subset moved purely for latency overlap
+
+    GcmStats &
+    operator+=(const GcmStats &o)
+    {
+        candidates += o.candidates;
+        hoisted += o.hoisted;
+        loopHoisted += o.loopHoisted;
+        latencyHoisted += o.latencyHoisted;
+        return *this;
+    }
+};
+
+/**
+ * Run global code motion over procedure @p proc of @p prog in place,
+ * accumulating counters into @p stats.  The procedure must be in
+ * strict form (no superblock side exits); block count and CFG shape
+ * are unchanged, only instruction-to-block assignment moves.
+ *
+ * Non-OK on deadline expiry or when the moved procedure fails strict
+ * structural verification (an internal invariant breach surfaced as a
+ * recoverable status so the pipeline's quarantine can degrade the
+ * procedure); the procedure may then be partially rewritten and the
+ * caller must restore its original body.
+ */
+Status gcmProcedure(ir::Program &prog, ir::ProcId proc,
+                    const GcmOptions &options, GcmStats &stats);
+
+} // namespace pathsched::sched
+
+#endif // PATHSCHED_SCHED_GCM_HPP

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/json.hpp"
+#include "pipeline/backend.hpp"
 #include "profile/edge_profile.hpp"
 #include "profile/path_profile.hpp"
 #include "profile/serialize.hpp"
@@ -406,8 +407,7 @@ ServeCore::attemptReschedule(bool force)
     if (dumpSkipped > 0)
         registry_.addCounter("serve.resched.dumpSkipped", dumpSkipped);
 
-    const bool pathCfg = opts_.config == pipeline::SchedConfig::P4 ||
-                         opts_.config == pipeline::SchedConfig::P4e;
+    const pipeline::BackendDesc &be = pipeline::backendFor(opts_.config);
     pipeline::PipelineOptions po =
         pipeline::PipelineOptions::Builder(opts_.pipelineBase)
             .profileCheck(profile::AdmissionMode::Off)
@@ -415,9 +415,9 @@ ServeCore::attemptReschedule(bool force)
             .threads(1)
             .keepTransformed(true)
             .build();
-    if (pathCfg)
+    if (be.needsPathProfile())
         po.profileInput.pathText = profile::toText(pp);
-    else
+    if (be.needsEdgeProfile() || !be.needsProfile())
         po.profileInput.edgeText = profile::toText(ep);
     if (opts_.reschedDeadlineMs > 0)
         po.robustness.budget.deadline =

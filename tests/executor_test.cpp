@@ -141,9 +141,9 @@ TEST(Executor, PolicyNamesRoundTrip)
 // Determinism matrix: N threads x policy must be byte-identical to
 // serial for every configuration.
 
-constexpr SchedConfig kAllConfigs[] = {SchedConfig::BB, SchedConfig::M4,
-                                       SchedConfig::M16, SchedConfig::P4,
-                                       SchedConfig::P4e};
+constexpr SchedConfig kAllConfigs[] = {
+    SchedConfig::BB, SchedConfig::M4, SchedConfig::M16, SchedConfig::P4,
+    SchedConfig::P4e, SchedConfig::G4, SchedConfig::G4e};
 
 /** Registry text with the thread/timing-dependent subtrees removed:
  *  "time.*" (wall clocks), "executor.*" (steal counts).  Everything
@@ -523,7 +523,7 @@ TEST(StageCacheTest, SerializeProcedureRoundTrips)
 }
 
 // ---------------------------------------------------------------------
-// PipelineOptions v2: builder and the deprecated-flat-field shim.
+// PipelineOptions v2: the grouped-field builder.
 
 TEST(PipelineOptionsV2, BuilderWritesGroupedFields)
 {
@@ -568,59 +568,16 @@ TEST(PipelineOptionsV2, BuilderWritesGroupedFields)
     EXPECT_EQ(opts.executor.cache, &cache);
 }
 
-// The shim is exactly the thing under test here.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(PipelineOptionsV2, NormalizedFoldsDeprecatedFlatFields)
+TEST(PipelineOptionsV2, GroupedBudgetGovernsARun)
 {
-    obs::Observer observer;
-    FaultInjector inj(0);
-    PipelineOptions flat;
-    flat.budget.interpSteps = 55;
-    flat.observer = &observer;
-    flat.interpStats = true;
-    flat.edgeProfileText = "e";
-    flat.pathProfileText = "p";
-    flat.profileCheck = profile::AdmissionMode::Off;
-    flat.profileFlowSlack = 3;
-    flat.faults = &inj;
-
-    const PipelineOptions n = flat.normalized();
-    EXPECT_EQ(n.robustness.budget.interpSteps, 55u);
-    EXPECT_EQ(n.observability.observer, &observer);
-    EXPECT_TRUE(n.observability.interpStats);
-    EXPECT_EQ(n.profileInput.edgeText, "e");
-    EXPECT_EQ(n.profileInput.pathText, "p");
-    EXPECT_EQ(n.profileInput.check, profile::AdmissionMode::Off);
-    EXPECT_EQ(n.profileInput.flowSlack, 3u);
-    EXPECT_EQ(n.robustness.faults, &inj);
-    // The flat fields are reset, so normalizing again changes nothing.
-    EXPECT_TRUE(n.budget.unlimited());
-    EXPECT_EQ(n.observer, nullptr);
-    EXPECT_TRUE(n.edgeProfileText.empty());
-    const PipelineOptions twice = n.normalized();
-    EXPECT_EQ(twice.profileInput.check, profile::AdmissionMode::Off);
-    EXPECT_EQ(twice.profileInput.flowSlack, 3u);
-    EXPECT_EQ(twice.robustness.budget.interpSteps, 55u);
-}
-
-TEST(PipelineOptionsV2, FlatBudgetStillGovernsARun)
-{
-    // Old call sites set the flat field; the run must behave exactly
-    // as if the group had been set.
     const auto w = workloads::makeByName("wc");
     PipelineOptions opts;
-    opts.budget.deadline = Deadline::afterMs(0);
+    opts.robustness.budget.deadline = Deadline::afterMs(0);
     const PipelineResult r = pipeline::runPipeline(
         w.program, w.train, w.test, SchedConfig::P4, opts);
     EXPECT_FALSE(r.status.ok());
     EXPECT_EQ(r.status.kind(), ErrorKind::DeadlineExceeded);
 }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 } // namespace
 } // namespace pathsched

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline/backend.hpp"
 #include "pipeline/pipeline.hpp"
 #include "workloads/workloads.hpp"
 
@@ -38,7 +39,7 @@ TEST_P(PipelineAllConfigs, TransformedProgramBehavesIdentically)
     EXPECT_GT(r.test.cycles, 0u);
     EXPECT_GT(r.test.dynInstrs, 0u);
     EXPECT_EQ(r.name, configName(c.config));
-    if (c.config != SchedConfig::BB) {
+    if (backendFor(c.config).formsSuperblocks) {
         EXPECT_GT(r.form.superblocksFormed, 0u) << c.workload;
         EXPECT_GT(r.test.sbEntries, 0u) << c.workload;
         // Executed blocks never exceed the superblock's size.
@@ -51,11 +52,8 @@ allCases()
 {
     std::vector<PipelineCase> cases;
     for (const auto &name : workloads::benchmarkNames()) {
-        for (const SchedConfig config :
-             {SchedConfig::BB, SchedConfig::M4, SchedConfig::M16,
-              SchedConfig::P4, SchedConfig::P4e}) {
-            cases.push_back({name, config});
-        }
+        for (const BackendDesc *be : allBackends())
+            cases.push_back({name, be->config});
     }
     return cases;
 }

@@ -56,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "pipeline/backend.hpp"
 #include "support/journal.hpp"
 #include "support/logging.hpp"
 #include "support/strutil.hpp"
@@ -390,10 +391,15 @@ main(int argc, char **argv)
     std::vector<std::string> workload_names =
         workloads_arg == "all" ? workloads::benchmarkNames()
                                : splitList(workloads_arg);
-    std::vector<std::string> config_names =
-        configs_arg == "all"
-            ? std::vector<std::string>{"BB", "M4", "M16", "P4", "P4e"}
-            : splitList(configs_arg);
+    std::vector<std::string> config_names;
+    if (configs_arg == "all") {
+        // The registry is the one source of truth for the sweep: a
+        // newly registered backend joins "all" with no edit here.
+        for (const pipeline::BackendDesc *be : pipeline::allBackends())
+            config_names.push_back(be->name);
+    } else {
+        config_names = splitList(configs_arg);
+    }
     if (workload_names.empty() || config_names.empty())
         fatal("empty workload or config list");
     if (access(cli.c_str(), X_OK) != 0)

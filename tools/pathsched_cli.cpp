@@ -34,6 +34,7 @@
 #include "machine/machine.hpp"
 #include "obs/stats.hpp"
 #include "obs/timer.hpp"
+#include "pipeline/backend.hpp"
 #include "pipeline/cache.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
@@ -48,6 +49,19 @@ using namespace pathsched;
 
 namespace {
 
+/** Comma-joined registry names: the one source of the config list. */
+std::string
+configListString()
+{
+    std::string out;
+    for (const pipeline::BackendDesc *be : pipeline::allBackends()) {
+        if (!out.empty())
+            out += ", ";
+        out += be->name;
+    }
+    return out;
+}
+
 void
 usage()
 {
@@ -57,8 +71,12 @@ usage()
         "  --gen SPEC              run a generated workload instead of a\n"
         "                          Table-1 benchmark, e.g.\n"
         "                          --gen 'seed=7,branch=tttf'\n"
-        "                          (repeatable; see docs/fuzzing.md)\n"
-        "  --config CFG|all        BB, M4, M16, P4, P4e (default: all)\n"
+        "                          (repeatable; see docs/fuzzing.md)\n");
+    std::printf(
+        "  --config CFG|all        %s\n"
+        "                          (default: all)\n",
+        configListString().c_str());
+    std::printf(
         "  --icache                attach the 32KB direct-mapped cache\n"
         "  --depth N               path-profile depth in branches "
         "(default 15)\n"
@@ -135,19 +153,10 @@ usage()
 bool
 parseConfig(const std::string &s, pipeline::SchedConfig &out)
 {
-    using pipeline::SchedConfig;
-    if (s == "BB")
-        out = SchedConfig::BB;
-    else if (s == "M4")
-        out = SchedConfig::M4;
-    else if (s == "M16")
-        out = SchedConfig::M16;
-    else if (s == "P4")
-        out = SchedConfig::P4;
-    else if (s == "P4e")
-        out = SchedConfig::P4e;
-    else
+    const pipeline::BackendDesc *be = pipeline::findBackend(s);
+    if (be == nullptr)
         return false;
+    out = be->config;
     return true;
 }
 
@@ -462,9 +471,8 @@ main(int argc, char **argv)
 
     std::vector<pipeline::SchedConfig> configs;
     if (config == "all") {
-        configs = {pipeline::SchedConfig::BB, pipeline::SchedConfig::M4,
-                   pipeline::SchedConfig::M16, pipeline::SchedConfig::P4,
-                   pipeline::SchedConfig::P4e};
+        for (const pipeline::BackendDesc *be : pipeline::allBackends())
+            configs.push_back(be->config);
     } else {
         pipeline::SchedConfig c;
         if (!parseConfig(config, c))

@@ -72,7 +72,8 @@ usage()
         "  --reduce-probes N   reduction probe budget (default 300)\n"
         "  --no-reduce         skip delta reduction\n"
         "  --no-meta           skip metamorphic checks\n"
-        "  --configs LIST      comma list of BB,M4,M16,P4,P4e\n"
+        "  --configs LIST      comma list of registered backends\n"
+        "                      (BB,M4,M16,P4,P4e,G4,G4e)\n"
         "                      (default all)\n"
         "  --threads N         pipeline worker threads per run\n"
         "other modes:\n"

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "pipeline/backend.hpp"
 #include "pipeline/pipeline.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -67,7 +68,8 @@ usage()
         "\n"
         "serve options:\n"
         "  --workload NAME         workload to schedule (default wc)\n"
-        "  --config NAME           BB|M4|M16|P4|P4e (default P4)\n"
+        "  --config NAME           any registered backend, e.g.\n"
+        "                          BB|M4|M16|P4|P4e|G4|G4e (default P4)\n"
         "  --state DIR             WAL + snapshot directory (required)\n"
         "  --cache-dir DIR         on-disk stage-cache tier\n"
         "  --epoch-ms N            wall ms per aggregation epoch\n"
@@ -126,16 +128,11 @@ parseU64(const char *s, uint64_t &out)
 bool
 parseConfig(const std::string &name, pipeline::SchedConfig &out)
 {
-    for (pipeline::SchedConfig c :
-         {pipeline::SchedConfig::BB, pipeline::SchedConfig::M4,
-          pipeline::SchedConfig::M16, pipeline::SchedConfig::P4,
-          pipeline::SchedConfig::P4e}) {
-        if (name == pipeline::configName(c)) {
-            out = c;
-            return true;
-        }
-    }
-    return false;
+    const pipeline::BackendDesc *be = pipeline::findBackend(name);
+    if (be == nullptr)
+        return false;
+    out = be->config;
+    return true;
 }
 
 bool
